@@ -1,0 +1,342 @@
+// Benchmarks regenerating the paper's evaluation artefacts:
+//
+//	BenchmarkTable1_*          Table 1 — one ranked retrieval per method
+//	BenchmarkFig7_*            Fig. 7 — range-index assignment & pruning
+//	BenchmarkFig8_*            Fig. 8 — each feature extractor
+//	BenchmarkPipeline_*        ingest/key-frame/video-search pipelines
+//	BenchmarkAblation_*        the design-choice ablations from DESIGN.md
+//
+// Run `go test -bench=. -benchmem` at the repository root. The shared
+// corpus is built once per process; per-op numbers measure steady-state
+// query/extraction cost. cmd/cbvr-bench prints the same artefacts with the
+// measured precision tables.
+package cbvr_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"cbvr"
+	"cbvr/internal/core"
+	"cbvr/internal/eval"
+	"cbvr/internal/features"
+	"cbvr/internal/imaging"
+	"cbvr/internal/keyframe"
+	"cbvr/internal/rangeindex"
+	"cbvr/internal/synthvid"
+)
+
+// benchCorpus is the shared fixture: a populated engine plus held-out
+// queries with pre-extracted descriptor sets.
+type benchCorpus struct {
+	dir     string
+	sys     *cbvr.System
+	queries []eval.Query
+	qsets   []*features.Set
+	frame   *imaging.Image // one raw query frame
+}
+
+var (
+	corpusOnce sync.Once
+	corpus     *benchCorpus
+	corpusErr  error
+)
+
+func sharedCorpus(b *testing.B) *benchCorpus {
+	b.Helper()
+	corpusOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "cbvr-bench-*")
+		if err != nil {
+			corpusErr = err
+			return
+		}
+		sys, err := cbvr.Open(filepath.Join(dir, "bench.db"), cbvr.Options{})
+		if err != nil {
+			corpusErr = err
+			return
+		}
+		cfg := eval.Table1Config{
+			VideosPerCategory:  3,
+			QueriesPerCategory: 2,
+			Video:              synthvid.Config{Frames: 36, Shots: 5},
+			Seed:               1,
+		}
+		if _, err := eval.BuildCorpus(sys.Engine(), cfg); err != nil {
+			corpusErr = err
+			return
+		}
+		queries := eval.BuildQueries(cfg)
+		frames := make([]*imaging.Image, len(queries))
+		for i, q := range queries {
+			frames[i] = q.Frame
+		}
+		corpus = &benchCorpus{
+			dir:     dir,
+			sys:     sys,
+			queries: queries,
+			qsets:   sys.Engine().ExtractQuerySets(frames),
+			frame:   queries[0].Frame,
+		}
+	})
+	if corpusErr != nil {
+		b.Fatal(corpusErr)
+	}
+	return corpus
+}
+
+// benchSearch times one full ranked retrieval per iteration for a method
+// configuration (Table 1 inner loop).
+func benchSearch(b *testing.B, opt core.SearchOptions) {
+	c := sharedCorpus(b)
+	opt.K = 100
+	opt.NoPruning = true
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := i % len(c.qsets)
+		if _, err := c.sys.Engine().SearchWithSet(c.qsets[q], core.QueryBucket(c.queries[q].Frame), opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Table 1: one benchmark per paper column.
+func BenchmarkTable1_GLCM(b *testing.B) {
+	benchSearch(b, core.SearchOptions{Kinds: []features.Kind{features.KindGLCM}})
+}
+func BenchmarkTable1_Gabor(b *testing.B) {
+	benchSearch(b, core.SearchOptions{Kinds: []features.Kind{features.KindGabor}})
+}
+func BenchmarkTable1_Tamura(b *testing.B) {
+	benchSearch(b, core.SearchOptions{Kinds: []features.Kind{features.KindTamura}})
+}
+func BenchmarkTable1_Histogram(b *testing.B) {
+	benchSearch(b, core.SearchOptions{Kinds: []features.Kind{features.KindHistogram}})
+}
+func BenchmarkTable1_Autocorrelogram(b *testing.B) {
+	benchSearch(b, core.SearchOptions{Kinds: []features.Kind{features.KindCorrelogram}})
+}
+func BenchmarkTable1_SimpleRegionGrowing(b *testing.B) {
+	benchSearch(b, core.SearchOptions{Kinds: []features.Kind{features.KindRegions}})
+}
+func BenchmarkTable1_Combined(b *testing.B) {
+	benchSearch(b, core.SearchOptions{})
+}
+
+// BenchmarkTable1_FullEvaluation runs the entire Table 1 harness (all 7
+// methods × all queries × 4 cut-offs) per iteration.
+func BenchmarkTable1_FullEvaluation(b *testing.B) {
+	c := sharedCorpus(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.RunTable1(c.sys.Engine(), c.queries); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Fig. 7: range-finder assignment and index pruning.
+func BenchmarkFig7_RangeAssignFaithful(b *testing.B) {
+	c := sharedCorpus(b)
+	hist := c.frame.Rescale(features.AnalysisSize, features.AnalysisSize).GrayHistogram()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rangeindex.AssignFaithful(&hist)
+	}
+}
+
+func BenchmarkFig7_RangeAssignGeneralised(b *testing.B) {
+	c := sharedCorpus(b)
+	hist := c.frame.Rescale(features.AnalysisSize, features.AnalysisSize).GrayHistogram()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rangeindex.Assign(&hist, 0, rangeindex.PaperLevels, rangeindex.PaperLevel1Threshold, rangeindex.PaperDeepThreshold)
+	}
+}
+
+func BenchmarkFig7_CandidateSelection(b *testing.B) {
+	c := sharedCorpus(b)
+	bucket := core.QueryBucket(c.frame)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.sys.Engine().Store().CandidatesByRange(nil, bucket); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Fig. 8: one benchmark per feature extractor on a raw frame.
+func benchExtract(b *testing.B, kind features.Kind) {
+	c := sharedCorpus(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := features.Extract(kind, c.frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig8_ColorHistogram(b *testing.B)  { benchExtract(b, features.KindHistogram) }
+func BenchmarkFig8_GLCM(b *testing.B)            { benchExtract(b, features.KindGLCM) }
+func BenchmarkFig8_Gabor(b *testing.B)           { benchExtract(b, features.KindGabor) }
+func BenchmarkFig8_Tamura(b *testing.B)          { benchExtract(b, features.KindTamura) }
+func BenchmarkFig8_Autocorrelogram(b *testing.B) { benchExtract(b, features.KindCorrelogram) }
+func BenchmarkFig8_Naive(b *testing.B)           { benchExtract(b, features.KindNaive) }
+func BenchmarkFig8_RegionGrowing(b *testing.B)   { benchExtract(b, features.KindRegions) }
+
+func BenchmarkFig8_ExtractAll(b *testing.B) {
+	c := sharedCorpus(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		features.ExtractAll(c.frame)
+	}
+}
+
+// Pipeline benchmarks.
+func BenchmarkPipeline_IngestVideo(b *testing.B) {
+	dir := b.TempDir()
+	sys, err := cbvr.Open(filepath.Join(dir, "ingest.db"), cbvr.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sys.Close()
+	v := synthvid.Generate(synthvid.Cartoon, synthvid.Config{Frames: 24, Shots: 4, Seed: 5})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.IngestFrames(fmt.Sprintf("clip_%d", i), v.Frames, 12); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPipeline_KeyframeExtraction(b *testing.B) {
+	v := synthvid.Generate(synthvid.Sports, synthvid.Config{Frames: 48, Shots: 5, Seed: 6})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (keyframe.Extractor{}).Extract(v.Frames); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPipeline_SearchFrameEndToEnd(b *testing.B) {
+	c := sharedCorpus(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.sys.Search(c.frame, cbvr.SearchOptions{K: 20}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPipeline_SearchVideoDTW(b *testing.B) {
+	c := sharedCorpus(b)
+	v := synthvid.Generate(synthvid.Movie, synthvid.Config{Frames: 16, Shots: 2, Seed: 9})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.sys.SearchVideo(v.Frames, cbvr.SearchOptions{K: 5}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Ablations (DESIGN.md).
+func BenchmarkAblation_RangePruningOn(b *testing.B) {
+	c := sharedCorpus(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := i % len(c.qsets)
+		if _, err := c.sys.Engine().SearchWithSet(c.qsets[q], core.QueryBucket(c.queries[q].Frame),
+			core.SearchOptions{K: 20}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblation_RangePruningOff(b *testing.B) {
+	c := sharedCorpus(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := i % len(c.qsets)
+		if _, err := c.sys.Engine().SearchWithSet(c.qsets[q], core.QueryBucket(c.queries[q].Frame),
+			core.SearchOptions{K: 20, NoPruning: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblation_FusionRRF(b *testing.B) {
+	benchSearch(b, core.SearchOptions{Fusion: core.FusionRRF})
+}
+
+func BenchmarkAblation_FusionMinMax(b *testing.B) {
+	benchSearch(b, core.SearchOptions{Fusion: core.FusionMinMax})
+}
+
+func BenchmarkAblation_KeyframeThreshold(b *testing.B) {
+	v := synthvid.Generate(synthvid.Nature, synthvid.Config{Frames: 48, Shots: 5, Seed: 7})
+	for _, thr := range []float64{400, 800, 1600} {
+		b.Run(fmt.Sprintf("thr=%.0f", thr), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := (keyframe.Extractor{Threshold: thr}).Extract(v.Frames); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkAblation_DPAlignment(b *testing.B) {
+	c := sharedCorpus(b)
+	v := synthvid.Generate(synthvid.News, synthvid.Config{Frames: 12, Shots: 2, Seed: 8})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.sys.Engine().SearchVideo(v.Frames, core.SearchOptions{K: 3}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblation_BestSingleFrame(b *testing.B) {
+	c := sharedCorpus(b)
+	qsets := c.qsets[:4]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.sys.Engine().BestSingleFrameVideoSearch(qsets, core.SearchOptions{K: 3}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblation_GaborFaithful(b *testing.B) {
+	c := sharedCorpus(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		features.ExtractGabor(c.frame)
+	}
+}
+
+func BenchmarkAblation_GaborCorrected(b *testing.B) {
+	c := sharedCorpus(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		features.ExtractGaborCorrected(c.frame)
+	}
+}
+
+func BenchmarkAblation_HuangVsOtsuThreshold(b *testing.B) {
+	c := sharedCorpus(b)
+	hist := c.frame.ToGray().Histogram()
+	b.Run("huang", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			imaging.HuangThreshold(hist)
+		}
+	})
+	b.Run("otsu", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			imaging.OtsuThreshold(hist)
+		}
+	})
+}

@@ -1,0 +1,191 @@
+// Package cbvr is a content-based video retrieval system, a Go
+// reproduction of Patel & Meshram, "Content Based Video Retrieval" (IJMA
+// 4(5), 2012). It stores videos and their automatically selected key
+// frames in an embedded database, indexes each key frame with seven visual
+// descriptors (colour histogram, GLCM, Gabor, Tamura, auto colour
+// correlogram, naive signature, region statistics) plus a histogram
+// range-finder bucket, and answers query-by-example searches by fusing
+// per-feature distances — the paper's "Combined" retrieval, which its
+// Table 1 shows beating every individual feature.
+//
+// # Quick start
+//
+//	sys, err := cbvr.Open("videos.db", cbvr.Options{})
+//	// … handle err …
+//	defer sys.Close()
+//	res, err := sys.IngestFrames("holiday", frames, 12)
+//	matches, err := sys.Search(queryFrame, cbvr.SearchOptions{K: 10})
+//
+// See the examples directory for runnable programs, DESIGN.md for the
+// architecture and EXPERIMENTS.md for the paper reproduction.
+package cbvr
+
+import (
+	"io"
+
+	"cbvr/internal/core"
+	"cbvr/internal/cvj"
+	"cbvr/internal/features"
+	"cbvr/internal/imaging"
+	"cbvr/internal/synthvid"
+	"cbvr/internal/vstore"
+)
+
+// Image is an 8-bit RGB raster; construct one with NewImage, FromJPEG or
+// the synthetic generators.
+type Image = imaging.Image
+
+// NewImage allocates a black w×h image.
+func NewImage(w, h int) *Image { return imaging.New(w, h) }
+
+// FromJPEG decodes JPEG bytes into an Image.
+func FromJPEG(r io.Reader) (*Image, error) { return imaging.DecodeJPEG(r) }
+
+// Options configures a System. The zero value is ready to use.
+type Options = core.Options
+
+// SearchOptions configures one retrieval call.
+type SearchOptions = core.SearchOptions
+
+// Match is one ranked key-frame result.
+type Match = core.Match
+
+// VideoMatch is one ranked video-level result.
+type VideoMatch = core.VideoMatch
+
+// IngestResult summarises an ingested video.
+type IngestResult = core.IngestResult
+
+// StoreOptions tunes the embedded database engine.
+type StoreOptions = vstore.Options
+
+// FeatureKind identifies one of the seven descriptors.
+type FeatureKind = features.Kind
+
+// The seven feature kinds, in the paper's Table 1 column order.
+const (
+	FeatureGLCM            = features.KindGLCM
+	FeatureGabor           = features.KindGabor
+	FeatureTamura          = features.KindTamura
+	FeatureHistogram       = features.KindHistogram
+	FeatureCorrelogram     = features.KindCorrelogram
+	FeatureRegions         = features.KindRegions
+	FeatureNaive           = features.KindNaive
+	NumFeatures            = int(features.NumKinds)
+	DefaultJPEGQuality     = imaging.DefaultJPEGQuality
+	KeyframeThresholdPaper = 800.0
+)
+
+// System is a CBVR instance backed by one database file.
+type System struct {
+	eng *core.Engine
+}
+
+// Open opens (creating if necessary) a CBVR system at the given database
+// path. The write-ahead log lives beside it at path + ".wal".
+func Open(path string, opts Options) (*System, error) {
+	eng, err := core.Open(path, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &System{eng: eng}, nil
+}
+
+// Close flushes and closes the database.
+func (s *System) Close() error { return s.eng.Close() }
+
+// Engine exposes the underlying engine for advanced use (evaluation
+// harnesses, admin operations).
+func (s *System) Engine() *core.Engine { return s.eng }
+
+// IngestVideo stores a CVJ video container: frames are decoded, key frames
+// selected (threshold 800 over the naive signature), all seven features
+// extracted, the range bucket assigned, and everything committed in one
+// transaction.
+func (s *System) IngestVideo(name string, container []byte) (*IngestResult, error) {
+	return s.eng.IngestVideo(name, container)
+}
+
+// IngestFrames encodes raw frames as a CVJ container and ingests it.
+func (s *System) IngestFrames(name string, frames []*Image, fps int) (*IngestResult, error) {
+	return s.eng.IngestFrames(name, frames, fps)
+}
+
+// DeleteVideo removes a video and its key frames (the paper's
+// administrator role).
+func (s *System) DeleteVideo(videoID int64) error { return s.eng.DeleteVideo(videoID) }
+
+// Search ranks stored key frames against a query frame.
+func (s *System) Search(query *Image, opts SearchOptions) ([]Match, error) {
+	return s.eng.SearchFrame(query, opts)
+}
+
+// SearchVideo ranks stored videos against a query clip using
+// dynamic-programming sequence alignment over key-frame descriptors.
+func (s *System) SearchVideo(queryFrames []*Image, opts SearchOptions) ([]VideoMatch, error) {
+	return s.eng.SearchVideo(queryFrames, opts)
+}
+
+// EncodeVideo packs frames into the CVJ container format (the system's
+// stand-in for MJPEG/AVI files). quality <= 0 selects the default.
+func EncodeVideo(w io.Writer, frames []*Image, fps, quality int) error {
+	return cvj.Encode(w, frames, fps, quality)
+}
+
+// DecodeVideo unpacks a CVJ container.
+func DecodeVideo(r io.Reader) (fps int, frames []*Image, err error) {
+	v, err := cvj.Decode(r)
+	if err != nil {
+		return 0, nil, err
+	}
+	return v.FPS, v.Frames, nil
+}
+
+// Category identifies a synthetic-video genre.
+type Category = synthvid.Category
+
+// The synthetic-corpus genres (the paper's archive.org categories).
+const (
+	CategoryElearning = synthvid.Elearning
+	CategorySports    = synthvid.Sports
+	CategoryCartoon   = synthvid.Cartoon
+	CategoryMovie     = synthvid.Movie
+	CategoryNews      = synthvid.News
+	CategoryNature    = synthvid.Nature
+)
+
+// VideoConfig controls synthetic video generation.
+type VideoConfig = synthvid.Config
+
+// GenerateVideo renders a deterministic synthetic clip of the given
+// category — the repository's substitute for the paper's archive.org
+// downloads.
+func GenerateVideo(cat Category, cfg VideoConfig) (name string, frames []*Image, fps int) {
+	v := synthvid.Generate(cat, cfg)
+	return v.Name, v.Frames, v.FPS
+}
+
+// GenerateCorpus renders perCategory clips of every category with
+// deterministic seeds and names like "sports_03".
+func GenerateCorpus(perCategory int, cfg VideoConfig) map[string][]*Image {
+	out := make(map[string][]*Image)
+	for _, v := range synthvid.GenerateCorpus(perCategory, cfg) {
+		out[v.Name] = v.Frames
+	}
+	return out
+}
+
+// DescribeFrame extracts all seven descriptors of a frame and returns
+// their paper-format strings keyed by feature kind, plus the §4.2 range
+// bucket — the output shown in the paper's Fig. 8.
+func DescribeFrame(im *Image) (strings map[FeatureKind]string, min, max int) {
+	set := features.ExtractAll(im)
+	strings = make(map[FeatureKind]string, NumFeatures)
+	for _, k := range features.AllKinds() {
+		if d := set.Get(k); d != nil {
+			strings[k] = d.String()
+		}
+	}
+	b := core.QueryBucket(im)
+	return strings, b.Min, b.Max
+}

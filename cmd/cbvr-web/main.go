@@ -1,0 +1,58 @@
+// Command cbvr-web serves the paper's interactive web application
+// (Figs. 2, 9, 10): users upload a query frame and browse ranked key-frame
+// thumbnails, open a video page and step through its key frames; the
+// administrator uploads and deletes videos.
+//
+//	cbvr-web -db cbvr.db -addr :8080
+//
+// Routes:
+//
+//	GET  /              query form + video listing
+//	POST /search        multipart "image" upload → ranked thumbnail grid
+//	GET  /video?id=N    video page with its key frames (Fig. 10)
+//	GET  /frame?id=N    key-frame JPEG bytes
+//	GET  /download?id=N stored CVJ container
+//	POST /admin/upload  multipart "video" CVJ upload (admin)
+//	POST /admin/delete  form "id" (admin)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"cbvr"
+	"cbvr/internal/webui"
+)
+
+func main() {
+	var (
+		db   = flag.String("db", "cbvr.db", "database path")
+		addr = flag.String("addr", ":8080", "listen address")
+		gen  = flag.Int("gen", 0, "ingest N synthetic videos per category at startup")
+	)
+	flag.Parse()
+	sys, err := cbvr.Open(*db, cbvr.Options{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cbvr-web:", err)
+		os.Exit(1)
+	}
+	defer sys.Close()
+	if *gen > 0 {
+		for name, frames := range cbvr.GenerateCorpus(*gen, cbvr.VideoConfig{}) {
+			if _, err := sys.IngestFrames(name, frames, 12); err != nil {
+				fmt.Fprintln(os.Stderr, "cbvr-web: seed corpus:", err)
+				os.Exit(1)
+			}
+		}
+		log.Printf("seeded %d synthetic videos per category", *gen)
+	}
+	srv := webui.New(sys.Engine())
+	log.Printf("cbvr-web listening on %s (db %s)", *addr, *db)
+	if err := http.ListenAndServe(*addr, srv); err != nil {
+		fmt.Fprintln(os.Stderr, "cbvr-web:", err)
+		os.Exit(1)
+	}
+}

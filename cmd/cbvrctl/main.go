@@ -1,0 +1,390 @@
+// Command cbvrctl administers and queries a CBVR database from the shell.
+// It covers both roles from the paper's use-case diagram: the
+// administrator (add / delete / inspect videos) and the user (query by
+// frame or clip).
+//
+//	cbvrctl init     -db cbvr.db
+//	cbvrctl gen      -db cbvr.db -videos 4            # synthetic corpus
+//	cbvrctl ingest   -db cbvr.db -file clip.cvj -name holiday
+//	cbvrctl list     -db cbvr.db
+//	cbvrctl query    -db cbvr.db -image frame.jpg -k 10
+//	cbvrctl queryvid -db cbvr.db -file clip.cvj -k 5
+//	cbvrctl describe -image frame.jpg                 # Fig. 8 output
+//	cbvrctl export   -db cbvr.db -id 3 -out clip.cvj
+//	cbvrctl delete   -db cbvr.db -id 3
+//	cbvrctl stats    -db cbvr.db
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cbvr"
+	"cbvr/internal/eval"
+	"cbvr/internal/features"
+	"cbvr/internal/synthvid"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "init":
+		err = cmdInit(args)
+	case "gen":
+		err = cmdGen(args)
+	case "ingest":
+		err = cmdIngest(args)
+	case "list":
+		err = cmdList(args)
+	case "query":
+		err = cmdQuery(args)
+	case "queryvid":
+		err = cmdQueryVid(args)
+	case "describe":
+		err = cmdDescribe(args)
+	case "export":
+		err = cmdExport(args)
+	case "delete":
+		err = cmdDelete(args)
+	case "stats":
+		err = cmdStats(args)
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cbvrctl:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: cbvrctl <init|gen|ingest|list|query|queryvid|describe|export|delete|stats> [flags]
+run "cbvrctl <command> -h" for command flags`)
+}
+
+func openSystem(path string) (*cbvr.System, error) {
+	if path == "" {
+		return nil, fmt.Errorf("missing -db flag")
+	}
+	return cbvr.Open(path, cbvr.Options{})
+}
+
+func cmdInit(args []string) error {
+	fs := flag.NewFlagSet("init", flag.ExitOnError)
+	db := fs.String("db", "", "database path")
+	fs.Parse(args)
+	sys, err := openSystem(*db)
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+	fmt.Printf("initialised %s\n", *db)
+	return nil
+}
+
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	db := fs.String("db", "", "database path")
+	videos := fs.Int("videos", 2, "videos per category")
+	frames := fs.Int("frames", 48, "frames per video")
+	shots := fs.Int("shots", 5, "shots per video")
+	seed := fs.Int64("seed", 1, "generator seed")
+	fs.Parse(args)
+	sys, err := openSystem(*db)
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+	corpus := cbvr.GenerateCorpus(*videos, cbvr.VideoConfig{Frames: *frames, Shots: *shots, Seed: *seed})
+	for name, imgs := range corpus {
+		res, err := sys.IngestFrames(name, imgs, 12)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("ingested %-14s video=%d frames=%d keyframes=%d\n",
+			name, res.VideoID, res.NumFrames, len(res.KeyFrameIDs))
+	}
+	return nil
+}
+
+func cmdIngest(args []string) error {
+	fs := flag.NewFlagSet("ingest", flag.ExitOnError)
+	db := fs.String("db", "", "database path")
+	file := fs.String("file", "", "CVJ container file")
+	name := fs.String("name", "", "video name (default: file name)")
+	fs.Parse(args)
+	if *file == "" {
+		return fmt.Errorf("missing -file flag")
+	}
+	raw, err := os.ReadFile(*file)
+	if err != nil {
+		return err
+	}
+	if *name == "" {
+		*name = strings.TrimSuffix(*file, ".cvj")
+	}
+	sys, err := openSystem(*db)
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+	res, err := sys.IngestVideo(*name, raw)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("ingested %s: video=%d frames=%d keyframes=%d\n",
+		*name, res.VideoID, res.NumFrames, len(res.KeyFrameIDs))
+	return nil
+}
+
+func cmdList(args []string) error {
+	fs := flag.NewFlagSet("list", flag.ExitOnError)
+	db := fs.String("db", "", "database path")
+	fs.Parse(args)
+	sys, err := openSystem(*db)
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+	vids, err := sys.Engine().Store().ListVideos(nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-6s %-20s %12s\n", "V_ID", "V_NAME", "BYTES")
+	for _, v := range vids {
+		fmt.Printf("%-6d %-20s %12d\n", v.ID, v.Name, v.VideoLen)
+	}
+	return nil
+}
+
+func parseKinds(s string) ([]cbvr.FeatureKind, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []cbvr.FeatureKind
+	for _, part := range strings.Split(s, ",") {
+		k, err := features.ParseKind(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, k)
+	}
+	return out, nil
+}
+
+func cmdQuery(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	db := fs.String("db", "", "database path")
+	image := fs.String("image", "", "query JPEG")
+	k := fs.Int("k", 10, "result count")
+	kindsFlag := fs.String("features", "", "comma-separated feature subset (default: all)")
+	noPrune := fs.Bool("noprune", false, "disable range-index pruning")
+	fs.Parse(args)
+	if *image == "" {
+		return fmt.Errorf("missing -image flag")
+	}
+	f, err := os.Open(*image)
+	if err != nil {
+		return err
+	}
+	query, err := cbvr.FromJPEG(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	kinds, err := parseKinds(*kindsFlag)
+	if err != nil {
+		return err
+	}
+	sys, err := openSystem(*db)
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+	matches, err := sys.Search(query, cbvr.SearchOptions{K: *k, Kinds: kinds, NoPruning: *noPrune})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-4s %-8s %-20s %-8s %s\n", "RANK", "FRAME", "VIDEO", "IDX", "DISTANCE")
+	for i, m := range matches {
+		fmt.Printf("%-4d %-8d %-20s %-8d %.6f\n", i+1, m.KeyFrameID, m.VideoName, m.FrameIndex, m.Distance)
+	}
+	return nil
+}
+
+func cmdQueryVid(args []string) error {
+	fs := flag.NewFlagSet("queryvid", flag.ExitOnError)
+	db := fs.String("db", "", "database path")
+	file := fs.String("file", "", "query CVJ container")
+	k := fs.Int("k", 5, "result count")
+	fs.Parse(args)
+	if *file == "" {
+		return fmt.Errorf("missing -file flag")
+	}
+	f, err := os.Open(*file)
+	if err != nil {
+		return err
+	}
+	_, frames, err := cbvr.DecodeVideo(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	sys, err := openSystem(*db)
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+	matches, err := sys.SearchVideo(frames, cbvr.SearchOptions{K: *k})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-4s %-6s %-20s %s\n", "RANK", "V_ID", "V_NAME", "DISTANCE")
+	for i, m := range matches {
+		fmt.Printf("%-4d %-6d %-20s %.6f\n", i+1, m.VideoID, m.VideoName, m.Distance)
+	}
+	return nil
+}
+
+func cmdDescribe(args []string) error {
+	fs := flag.NewFlagSet("describe", flag.ExitOnError)
+	image := fs.String("image", "", "JPEG to describe")
+	seed := fs.Int64("seed", 0, "describe a generated frame instead (seed)")
+	fs.Parse(args)
+	var im *cbvr.Image
+	switch {
+	case *image != "":
+		f, err := os.Open(*image)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		var derr error
+		im, derr = cbvr.FromJPEG(f)
+		if derr != nil {
+			return derr
+		}
+	default:
+		qs := eval.BuildQueries(eval.Table1Config{QueriesPerCategory: 1, Seed: *seed + 1})
+		im = qs[0].Frame
+	}
+	strs, min, max := cbvr.DescribeFrame(im)
+	fmt.Printf("Algorithm : SimpleColorHistogram\nOutput : min = %d, max=%d\nHistogram : %s\n\n",
+		min, max, strs[cbvr.FeatureHistogram])
+	fmt.Printf("Algorithm : GLCM_Texture\nOutput :\n%s\n\n", strs[cbvr.FeatureGLCM])
+	fmt.Printf("Algorithm : Gabor Texture\nOutput :\n%s\n\n", strs[cbvr.FeatureGabor])
+	fmt.Printf("Algorithm : Tamura Texture\nOutput :\n%s\n\n", strs[cbvr.FeatureTamura])
+	regions, err := features.ParseRegions(strs[cbvr.FeatureRegions])
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Algorithm : SimpleRegionGrowing\nOutput : Majorregions : %d\n\n", regions.Major)
+	fmt.Printf("Algorithm : AutoColorCorrelogram\nOutput :\n%s\n\n", strs[cbvr.FeatureCorrelogram])
+	fmt.Printf("Algorithm : NaiveVector\nOutput :\n%s\n", strs[cbvr.FeatureNaive])
+	return nil
+}
+
+func cmdExport(args []string) error {
+	fs := flag.NewFlagSet("export", flag.ExitOnError)
+	db := fs.String("db", "", "database path")
+	id := fs.Int64("id", 0, "video id")
+	out := fs.String("out", "", "output CVJ path")
+	fs.Parse(args)
+	if *id == 0 || *out == "" {
+		return fmt.Errorf("need -id and -out")
+	}
+	sys, err := openSystem(*db)
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+	raw, ok, err := sys.Engine().Store().VideoBytes(nil, *id)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("no video %d", *id)
+	}
+	if err := os.WriteFile(*out, raw, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("exported video %d to %s (%d bytes)\n", *id, *out, len(raw))
+	return nil
+}
+
+func cmdDelete(args []string) error {
+	fs := flag.NewFlagSet("delete", flag.ExitOnError)
+	db := fs.String("db", "", "database path")
+	id := fs.Int64("id", 0, "video id")
+	fs.Parse(args)
+	if *id == 0 {
+		return fmt.Errorf("need -id")
+	}
+	sys, err := openSystem(*db)
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+	if err := sys.DeleteVideo(*id); err != nil {
+		return err
+	}
+	fmt.Printf("deleted video %d\n", *id)
+	return nil
+}
+
+func cmdStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	db := fs.String("db", "", "database path")
+	fs.Parse(args)
+	sys, err := openSystem(*db)
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+	st := sys.Engine().Store()
+	nv, err := st.CountVideos(nil)
+	if err != nil {
+		return err
+	}
+	nk, err := st.CountKeyFrames(nil)
+	if err != nil {
+		return err
+	}
+	ds := st.DB().Stats()
+	fmt.Printf("videos:       %d\n", nv)
+	fmt.Printf("key frames:   %d\n", nk)
+	fmt.Printf("commits:      %d\n", ds.Commits)
+	fmt.Printf("wal records:  %d\n", ds.WALRecords)
+	fmt.Printf("recovered:    %d txns at open\n", ds.Recovered)
+
+	if _, err := synthvid.ParseCategory("sports"); err == nil && nk > 0 {
+		// Per-category frame counts when the corpus is synthetic.
+		counts := make(map[string]int)
+		vids, err := st.ListVideos(nil)
+		if err != nil {
+			return err
+		}
+		for _, v := range vids {
+			if cat, ok := eval.CategoryOfVideoName(v.Name); ok {
+				counts[cat.String()]++
+			}
+		}
+		if len(counts) > 0 {
+			fmt.Println("videos per category:")
+			for _, c := range synthvid.AllCategories() {
+				if n := counts[c.String()]; n > 0 {
+					fmt.Printf("  %-10s %d\n", c, n)
+				}
+			}
+		}
+	}
+	return nil
+}

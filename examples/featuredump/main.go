@@ -1,0 +1,51 @@
+// Featuredump reproduces the paper's Fig. 8: for one query frame, print
+// the output of every algorithm in the exact formats the paper shows —
+// the SimpleColorHistogram "RGB 256 …" string and the min/max index range,
+// the six GLCM numbers, "gabor 60 …" (with its tail of zeros from the
+// faithful indexing quirk), "Tamura 18 …", "Majorregions : N", "ACC 4 …"
+// and the "NaiveVector java.awt.Color[…]" signature.
+//
+//	go run ./examples/featuredump
+package main
+
+import (
+	"fmt"
+
+	"cbvr"
+	"cbvr/internal/features"
+)
+
+func main() {
+	// A deterministic "query image" akin to the paper's Fig. 8 input.
+	_, frames, _ := cbvr.GenerateVideo(cbvr.CategoryMovie, cbvr.VideoConfig{Frames: 4, Shots: 1, Seed: 8})
+	frame := frames[2]
+	fmt.Printf("Input query frame: %dx%d\n\n", frame.W, frame.H)
+
+	strs, min, max := cbvr.DescribeFrame(frame)
+
+	fmt.Println("Algorithm : SimpleColorHistogram")
+	fmt.Printf("Output : min = %d, max=%d\n", min, max)
+	fmt.Printf("Histogram : %s\n\n", strs[cbvr.FeatureHistogram])
+
+	fmt.Println("Algorithm : GLCM_Texture")
+	fmt.Printf("Output :\n%s\n\n", strs[cbvr.FeatureGLCM])
+
+	fmt.Println("Algorithm : Gabor Texture")
+	fmt.Printf("Output :\n%s\n\n", strs[cbvr.FeatureGabor])
+
+	fmt.Println("Algorithm : Tamura Texture")
+	fmt.Printf("Output :\n%s\n\n", strs[cbvr.FeatureTamura])
+
+	regions, err := features.ParseRegions(strs[cbvr.FeatureRegions])
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("Algorithm : SimpleRegionGrowing")
+	fmt.Printf("Output : Majorregions : %d\n\n", regions.Major)
+
+	fmt.Println("Algorithm : AutoColorCorrelogram")
+	fmt.Printf("Output :\n%s\n\n", strs[cbvr.FeatureCorrelogram])
+
+	fmt.Println("Algorithm : NaiveVector")
+	fmt.Printf("Output :\n%s\n", strs[cbvr.FeatureNaive])
+}

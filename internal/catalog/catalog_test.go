@@ -1,0 +1,289 @@
+package catalog
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"cbvr/internal/rangeindex"
+	"cbvr/internal/vstore"
+)
+
+func openTestStore(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open(filepath.Join(t.TempDir(), "cbvr.db"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func sampleKeyFrame(name string, min, max int, videoID int64, idx int) *KeyFrame {
+	return &KeyFrame{
+		Name:         name,
+		Image:        []byte("\xff\xd8 jpeg-ish payload"),
+		Min:          min,
+		Max:          max,
+		SCH:          "RGB 256 1 2 3",
+		GLCM:         "1 2 3 4 5 6",
+		Gabor:        "gabor 60 0.5",
+		Tamura:       "Tamura 18 1 2",
+		ACC:          "ACC 4 0.5",
+		Naive:        "NaiveVector java.awt.Color[r=1,g=2,b=3]",
+		Regions:      "Regions 3 1 2",
+		MajorRegions: 2,
+		VideoID:      videoID,
+		FrameIndex:   idx,
+	}
+}
+
+func TestSchemaMatchesPaper(t *testing.T) {
+	vs := VideoStoreSchema()
+	wantVS := []string{"V_ID", "V_NAME", "VIDEO", "STREAM", "DOSTORE"}
+	if len(vs.Cols) != len(wantVS) {
+		t.Fatalf("VIDEO_STORE has %d columns", len(vs.Cols))
+	}
+	for i, n := range wantVS {
+		if vs.Cols[i].Name != n {
+			t.Errorf("VIDEO_STORE col %d = %s, want %s", i, vs.Cols[i].Name, n)
+		}
+	}
+	kf := KeyFramesSchema()
+	// The paper's columns, in its CREATE TABLE order, must be a prefix-
+	// compatible subset of ours.
+	paperCols := []string{"I_ID", "I_NAME", "IMAGE", "MIN", "MAX", "SCH", "GLCM", "GABOR", "TAMURA", "MAJORREGIONS", "V_ID"}
+	for _, n := range paperCols {
+		if kf.ColIndex(n) < 0 {
+			t.Errorf("KEY_FRAMES missing paper column %s", n)
+		}
+	}
+	if len(kf.Indexes) == 0 || kf.Indexes[0].Name != IndexRange {
+		t.Error("KEY_FRAMES must carry the (MIN,MAX) range index")
+	}
+}
+
+func TestVideoRoundTrip(t *testing.T) {
+	s := openTestStore(t)
+	tx, _ := s.Begin()
+	video := bytes.Repeat([]byte("VID"), 10000)
+	stream := bytes.Repeat([]byte("STR"), 2000)
+	when := time.Date(2012, 10, 1, 0, 0, 0, 0, time.UTC)
+	id, err := s.InsertVideo(tx, &Video{Name: "sports_01", Video: video, Stream: stream, DoStore: when})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	info, ok, err := s.GetVideoInfo(nil, id)
+	if err != nil || !ok {
+		t.Fatalf("info: ok=%v err=%v", ok, err)
+	}
+	if info.Name != "sports_01" || info.VideoLen != int64(len(video)) || !info.DoStore.Equal(when) {
+		t.Errorf("info: %+v", info)
+	}
+	got, ok, err := s.VideoBytes(nil, id)
+	if err != nil || !ok || !bytes.Equal(got, video) {
+		t.Error("video blob mismatch")
+	}
+	st, ok, err := s.StreamBytes(nil, id)
+	if err != nil || !ok || !bytes.Equal(st, stream) {
+		t.Error("stream blob mismatch")
+	}
+	if _, ok, _ := s.GetVideoInfo(nil, 999); ok {
+		t.Error("phantom video")
+	}
+}
+
+func TestKeyFrameRoundTrip(t *testing.T) {
+	s := openTestStore(t)
+	tx, _ := s.Begin()
+	vid, _ := s.InsertVideo(tx, &Video{Name: "v"})
+	kf := sampleKeyFrame("v#0001", 0, 127, vid, 1)
+	id, err := s.InsertKeyFrame(tx, kf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx.Commit()
+
+	got, ok, err := s.GetKeyFrame(nil, id)
+	if err != nil || !ok {
+		t.Fatalf("get: ok=%v err=%v", ok, err)
+	}
+	if got.Name != "v#0001" || got.Min != 0 || got.Max != 127 ||
+		got.SCH != kf.SCH || got.GLCM != kf.GLCM || got.Gabor != kf.Gabor ||
+		got.Tamura != kf.Tamura || got.ACC != kf.ACC || got.Naive != kf.Naive ||
+		got.Regions != kf.Regions || got.MajorRegions != 2 ||
+		got.VideoID != vid || got.FrameIndex != 1 {
+		t.Errorf("row mismatch: %+v", got)
+	}
+	if got.Range() != (rangeindex.Range{Min: 0, Max: 127}) {
+		t.Errorf("range: %v", got.Range())
+	}
+	img, ok, err := s.KeyFrameImage(nil, id)
+	if err != nil || !ok || !bytes.Equal(img, kf.Image) {
+		t.Error("image blob mismatch")
+	}
+}
+
+func TestCandidatesByRangePruning(t *testing.T) {
+	s := openTestStore(t)
+	tx, _ := s.Begin()
+	vid, _ := s.InsertVideo(tx, &Video{Name: "v"})
+	// Frames in three different buckets.
+	lowID, _ := s.InsertKeyFrame(tx, sampleKeyFrame("low", 0, 31, vid, 0))
+	midID, _ := s.InsertKeyFrame(tx, sampleKeyFrame("mid", 0, 127, vid, 1))
+	highID, _ := s.InsertKeyFrame(tx, sampleKeyFrame("high", 192, 255, vid, 2))
+	tx.Commit()
+
+	got, err := s.CandidatesByRange(nil, rangeindex.Range{Min: 0, Max: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	has := func(ids []int64, want int64) bool {
+		for _, id := range ids {
+			if id == want {
+				return true
+			}
+		}
+		return false
+	}
+	if !has(got, lowID) || !has(got, midID) {
+		t.Errorf("overlapping buckets missing: %v", got)
+	}
+	if has(got, highID) {
+		t.Errorf("disjoint bucket not pruned: %v", got)
+	}
+
+	all, err := s.CandidatesByRange(nil, rangeindex.Range{Min: 0, Max: 255})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 3 {
+		t.Errorf("root query found %d", len(all))
+	}
+}
+
+func TestKeyFramesOfVideoAndDelete(t *testing.T) {
+	s := openTestStore(t)
+	tx, _ := s.Begin()
+	v1, _ := s.InsertVideo(tx, &Video{Name: "a"})
+	v2, _ := s.InsertVideo(tx, &Video{Name: "b"})
+	for i := 0; i < 3; i++ {
+		s.InsertKeyFrame(tx, sampleKeyFrame("a", 0, 255, v1, i))
+	}
+	s.InsertKeyFrame(tx, sampleKeyFrame("b", 0, 255, v2, 0))
+	tx.Commit()
+
+	kfs, err := s.KeyFramesOfVideo(nil, v1)
+	if err != nil || len(kfs) != 3 {
+		t.Fatalf("video a has %d frames, err %v", len(kfs), err)
+	}
+	for i := 1; i < len(kfs); i++ {
+		if kfs[i].FrameIndex < kfs[i-1].FrameIndex {
+			t.Error("frames out of order")
+		}
+	}
+
+	tx2, _ := s.Begin()
+	if err := s.DeleteVideo(tx2, v1); err != nil {
+		t.Fatal(err)
+	}
+	tx2.Commit()
+
+	if n, _ := s.CountVideos(nil); n != 1 {
+		t.Errorf("videos after delete = %d", n)
+	}
+	if n, _ := s.CountKeyFrames(nil); n != 1 {
+		t.Errorf("key frames after delete = %d", n)
+	}
+	// The range index must not return dead frames.
+	got, _ := s.CandidatesByRange(nil, rangeindex.Range{Min: 0, Max: 255})
+	if len(got) != 1 {
+		t.Errorf("index returned %d candidates after delete", len(got))
+	}
+
+	tx3, _ := s.Begin()
+	defer tx3.Abort()
+	if err := s.DeleteVideo(tx3, v1); err == nil {
+		t.Error("double delete should fail")
+	}
+}
+
+func TestRenameVideo(t *testing.T) {
+	s := openTestStore(t)
+	tx, _ := s.Begin()
+	id, _ := s.InsertVideo(tx, &Video{Name: "old"})
+	if err := s.RenameVideo(tx, id, "new"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RenameVideo(tx, 999, "x"); err == nil {
+		t.Error("rename of missing video should fail")
+	}
+	tx.Commit()
+	info, _, _ := s.GetVideoInfo(nil, id)
+	if info.Name != "new" {
+		t.Errorf("name = %q", info.Name)
+	}
+}
+
+func TestListVideosOrdered(t *testing.T) {
+	s := openTestStore(t)
+	tx, _ := s.Begin()
+	for _, n := range []string{"x", "y", "z"} {
+		s.InsertVideo(tx, &Video{Name: n})
+	}
+	tx.Commit()
+	vids, err := s.ListVideos(nil)
+	if err != nil || len(vids) != 3 {
+		t.Fatalf("list: %d err=%v", len(vids), err)
+	}
+	for i := 1; i < len(vids); i++ {
+		if vids[i].ID <= vids[i-1].ID {
+			t.Error("list not ordered by id")
+		}
+	}
+}
+
+func TestPersistenceAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "c.db")
+	s, err := Open(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, _ := s.Begin()
+	vid, _ := s.InsertVideo(tx, &Video{Name: "persist", Video: []byte("vvv")})
+	kfID, _ := s.InsertKeyFrame(tx, sampleKeyFrame("kf", 64, 127, vid, 0))
+	tx.Commit()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(path, &vstore.Options{CachePages: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	kf, ok, err := s2.GetKeyFrame(nil, kfID)
+	if err != nil || !ok {
+		t.Fatalf("key frame lost: ok=%v err=%v", ok, err)
+	}
+	if kf.Min != 64 || kf.Max != 127 {
+		t.Errorf("range lost: %d-%d", kf.Min, kf.Max)
+	}
+	cands, _ := s2.CandidatesByRange(nil, rangeindex.Range{Min: 64, Max: 127})
+	if len(cands) != 1 || cands[0] != kfID {
+		t.Errorf("range index lost across reopen: %v", cands)
+	}
+}
+
+func TestAllBucketsCount(t *testing.T) {
+	b := AllBuckets()
+	if len(b) != 15 { // 1 root + 2 halves + 4 quarters + 8 eighths
+		t.Errorf("buckets = %d, want 15", len(b))
+	}
+}

@@ -1,0 +1,635 @@
+// Package core implements the paper's CBVR engine: the ingest pipeline
+// (video container → frames → §4.1 key frames → §4.3–4.8 features → §4.2
+// range bucket → VIDEO_STORE/KEY_FRAMES rows) and the query pipeline
+// (query frame → features → range pruning → per-feature scoring → fusion →
+// ranked results), plus the dynamic-programming video-to-video search.
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"cbvr/internal/catalog"
+	"cbvr/internal/cvj"
+	"cbvr/internal/features"
+	"cbvr/internal/imaging"
+	"cbvr/internal/keyframe"
+	"cbvr/internal/rangeindex"
+	"cbvr/internal/similarity"
+	"cbvr/internal/vstore"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// KeyframeThreshold overrides the §4.1 similarity cut-off
+	// (default 800).
+	KeyframeThreshold float64
+	// Workers bounds parallel feature extraction; <= 0 uses GOMAXPROCS.
+	Workers int
+	// JPEGQuality for stored key-frame images; <= 0 uses the default.
+	JPEGQuality int
+	// Store tunes the underlying vstore database.
+	Store vstore.Options
+}
+
+// Fusion selects how per-feature distances combine into one ranking.
+type Fusion int
+
+const (
+	// FusionRRF (default) is reciprocal rank fusion: scale-free and
+	// robust to individually weak features, which is what makes the
+	// paper's "Combined" column dominate every single feature.
+	FusionRRF Fusion = iota
+	// FusionMinMax min-max normalises each feature's distances and takes
+	// their weighted mean (classic score fusion; the fusion ablation
+	// baseline).
+	FusionMinMax
+)
+
+// SearchOptions configures one retrieval call.
+type SearchOptions struct {
+	// K bounds the result count; <= 0 returns everything ranked.
+	K int
+	// Kinds selects the features to combine; empty means all seven
+	// (the paper's "Combined" configuration).
+	Kinds []features.Kind
+	// Weights gives per-kind fusion weights aligned with Kinds; nil means
+	// equal weights. Only FusionMinMax uses weights.
+	Weights []float64
+	// Fusion selects the rank-combination rule (default FusionRRF).
+	Fusion Fusion
+	// NoPruning disables the §4.2 range-index candidate pruning and scans
+	// every key frame (used by the pruning ablation).
+	NoPruning bool
+}
+
+// Match is one ranked key-frame result.
+type Match struct {
+	KeyFrameID int64
+	VideoID    int64
+	VideoName  string
+	FrameIndex int
+	Distance   float64
+}
+
+// VideoMatch is one ranked video-level result.
+type VideoMatch struct {
+	VideoID   int64
+	VideoName string
+	Distance  float64
+}
+
+// IngestResult summarises one ingested video.
+type IngestResult struct {
+	VideoID     int64
+	NumFrames   int
+	KeyFrameIDs []int64
+}
+
+// Engine is the CBVR system facade over the catalog store.
+type Engine struct {
+	store *catalog.Store
+	opts  Options
+
+	mu    sync.RWMutex
+	cache map[int64]*frameEntry // key-frame ID -> parsed descriptors
+	vname map[int64]string      // video ID -> name
+	warm  bool
+}
+
+// frameEntry caches one key frame's parsed state for scoring.
+type frameEntry struct {
+	id       int64
+	videoID  int64
+	frameIdx int
+	bucket   rangeindex.Range
+	set      *features.Set
+}
+
+// Open opens (creating if needed) a CBVR engine at the given database
+// path.
+func Open(path string, opts Options) (*Engine, error) {
+	st, err := catalog.Open(path, &opts.Store)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{
+		store: st,
+		opts:  opts,
+		cache: make(map[int64]*frameEntry),
+		vname: make(map[int64]string),
+	}, nil
+}
+
+// Close closes the engine and its database.
+func (e *Engine) Close() error { return e.store.Close() }
+
+// Store exposes the catalog layer (admin operations, diagnostics).
+func (e *Engine) Store() *catalog.Store { return e.store }
+
+func (e *Engine) workers() int {
+	if e.opts.Workers > 0 {
+		return e.opts.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// IngestFrames encodes frames as a CVJ container and ingests it.
+func (e *Engine) IngestFrames(name string, frames []*imaging.Image, fps int) (*IngestResult, error) {
+	if len(frames) == 0 {
+		return nil, errors.New("core: no frames to ingest")
+	}
+	container, err := cvj.EncodeBytes(frames, fps, e.opts.JPEGQuality)
+	if err != nil {
+		return nil, err
+	}
+	return e.IngestVideo(name, container)
+}
+
+// IngestVideo runs the full ingest pipeline on a CVJ container: decode
+// frames, select key frames (§4.1), extract all features (§4.3–4.8) in
+// parallel, assign range buckets (§4.2) and store everything in one
+// transaction.
+func (e *Engine) IngestVideo(name string, container []byte) (*IngestResult, error) {
+	vid, err := cvj.DecodeBytes(container)
+	if err != nil {
+		return nil, fmt.Errorf("core: ingest %q: %w", name, err)
+	}
+	kex := keyframe.Extractor{Threshold: e.opts.KeyframeThreshold}
+	kfs, err := kex.Extract(vid.Frames)
+	if err != nil {
+		return nil, fmt.Errorf("core: ingest %q: %w", name, err)
+	}
+
+	type extracted struct {
+		set    *features.Set
+		bucket rangeindex.Range
+		jpeg   []byte
+	}
+	exts := make([]extracted, len(kfs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, e.workers())
+	errCh := make(chan error, len(kfs))
+	for i := range kfs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			im := kfs[i].Image
+			set := features.ExtractAll(im)
+			hist := im.Rescale(features.AnalysisSize, features.AnalysisSize).GrayHistogram()
+			min, max := rangeindex.AssignFaithful(&hist)
+			var buf bytes.Buffer
+			if err := im.EncodeJPEG(&buf, e.opts.JPEGQuality); err != nil {
+				errCh <- err
+				return
+			}
+			exts[i] = extracted{set: set, bucket: rangeindex.Range{Min: min, Max: max}, jpeg: buf.Bytes()}
+		}(i)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return nil, fmt.Errorf("core: ingest %q: %w", name, err)
+	default:
+	}
+
+	// Key-frame-only stream (the VIDEO_STORE.STREAM column).
+	kfImages := make([]*imaging.Image, len(kfs))
+	for i, k := range kfs {
+		kfImages[i] = k.Image
+	}
+	stream, err := cvj.EncodeBytes(kfImages, vid.FPS, e.opts.JPEGQuality)
+	if err != nil {
+		return nil, fmt.Errorf("core: ingest %q: %w", name, err)
+	}
+
+	tx, err := e.store.Begin()
+	if err != nil {
+		return nil, err
+	}
+	v := &catalog.Video{Name: name, Video: container, Stream: stream, DoStore: time.Unix(0, 0).UTC()}
+	videoID, err := e.store.InsertVideo(tx, v)
+	if err != nil {
+		tx.Abort()
+		return nil, err
+	}
+	res := &IngestResult{VideoID: videoID, NumFrames: len(vid.Frames)}
+	newEntries := make([]*frameEntry, 0, len(kfs))
+	for i, k := range kfs {
+		row := &catalog.KeyFrame{
+			Name:         fmt.Sprintf("%s#%04d", name, k.Index),
+			Image:        exts[i].jpeg,
+			Min:          exts[i].bucket.Min,
+			Max:          exts[i].bucket.Max,
+			SCH:          exts[i].set.Histogram.String(),
+			GLCM:         exts[i].set.GLCM.String(),
+			Gabor:        exts[i].set.Gabor.String(),
+			Tamura:       exts[i].set.Tamura.String(),
+			ACC:          exts[i].set.Correlogram.String(),
+			Naive:        exts[i].set.Naive.String(),
+			Regions:      exts[i].set.Regions.String(),
+			MajorRegions: exts[i].set.Regions.Major,
+			VideoID:      videoID,
+			FrameIndex:   k.Index,
+		}
+		id, err := e.store.InsertKeyFrame(tx, row)
+		if err != nil {
+			tx.Abort()
+			return nil, err
+		}
+		res.KeyFrameIDs = append(res.KeyFrameIDs, id)
+		newEntries = append(newEntries, &frameEntry{
+			id:       id,
+			videoID:  videoID,
+			frameIdx: k.Index,
+			bucket:   exts[i].bucket,
+			set:      exts[i].set,
+		})
+	}
+	if err := tx.Commit(); err != nil {
+		return nil, err
+	}
+
+	e.mu.Lock()
+	for _, en := range newEntries {
+		e.cache[en.id] = en
+	}
+	e.vname[videoID] = name
+	e.mu.Unlock()
+	return res, nil
+}
+
+// DeleteVideo removes a video and its key frames (admin use case).
+func (e *Engine) DeleteVideo(videoID int64) error {
+	tx, err := e.store.Begin()
+	if err != nil {
+		return err
+	}
+	if err := e.store.DeleteVideo(tx, videoID); err != nil {
+		tx.Abort()
+		return err
+	}
+	if err := tx.Commit(); err != nil {
+		return err
+	}
+	e.mu.Lock()
+	for id, en := range e.cache {
+		if en.videoID == videoID {
+			delete(e.cache, id)
+		}
+	}
+	delete(e.vname, videoID)
+	e.mu.Unlock()
+	return nil
+}
+
+// warmCache loads every stored key frame's feature strings into parsed
+// descriptor sets. It is called lazily by searches and is idempotent.
+func (e *Engine) warmCache() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.warm {
+		return nil
+	}
+	err := e.store.ScanKeyFrames(nil, func(k *catalog.KeyFrame) (bool, error) {
+		if _, ok := e.cache[k.ID]; ok {
+			return true, nil
+		}
+		en, err := entryFromRow(k)
+		if err != nil {
+			return false, err
+		}
+		e.cache[k.ID] = en
+		return true, nil
+	})
+	if err != nil {
+		return err
+	}
+	vids, err := e.store.ListVideos(nil)
+	if err != nil {
+		return err
+	}
+	for _, v := range vids {
+		e.vname[v.ID] = v.Name
+	}
+	e.warm = true
+	return nil
+}
+
+// entryFromRow parses a stored key frame's feature strings.
+func entryFromRow(k *catalog.KeyFrame) (*frameEntry, error) {
+	set := &features.Set{}
+	for _, f := range []struct {
+		kind features.Kind
+		s    string
+	}{
+		{features.KindHistogram, k.SCH},
+		{features.KindGLCM, k.GLCM},
+		{features.KindGabor, k.Gabor},
+		{features.KindTamura, k.Tamura},
+		{features.KindCorrelogram, k.ACC},
+		{features.KindNaive, k.Naive},
+		{features.KindRegions, k.Regions},
+	} {
+		if f.s == "" {
+			continue
+		}
+		d, err := features.Parse(f.kind, f.s)
+		if err != nil {
+			return nil, fmt.Errorf("core: key frame %d: %w", k.ID, err)
+		}
+		if err := set.Put(d); err != nil {
+			return nil, err
+		}
+	}
+	return &frameEntry{
+		id:       k.ID,
+		videoID:  k.VideoID,
+		frameIdx: k.FrameIndex,
+		bucket:   k.Range(),
+		set:      set,
+	}, nil
+}
+
+// QueryBucket computes the §4.2 range bucket of a query frame.
+func QueryBucket(im *imaging.Image) rangeindex.Range {
+	hist := im.Rescale(features.AnalysisSize, features.AnalysisSize).GrayHistogram()
+	min, max := rangeindex.AssignFaithful(&hist)
+	return rangeindex.Range{Min: min, Max: max}
+}
+
+func (opt *SearchOptions) kinds() []features.Kind {
+	if len(opt.Kinds) == 0 {
+		return features.AllKinds()
+	}
+	return opt.Kinds
+}
+
+// SearchFrame ranks stored key frames against a query frame: extract the
+// query's descriptors, prune candidates through the range index, score per
+// feature, min-max normalise, fuse and rank.
+func (e *Engine) SearchFrame(query *imaging.Image, opt SearchOptions) ([]Match, error) {
+	if err := e.warmCache(); err != nil {
+		return nil, err
+	}
+	qset := features.ExtractAll(query)
+	qbucket := QueryBucket(query)
+	return e.searchSet(qset, qbucket, opt)
+}
+
+// searchSet is the scoring half of SearchFrame, reusable when the query's
+// descriptors are already extracted (evaluation harness).
+func (e *Engine) searchSet(qset *features.Set, qbucket rangeindex.Range, opt SearchOptions) ([]Match, error) {
+	if err := e.warmCache(); err != nil {
+		return nil, err
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+
+	var cands []*frameEntry
+	for _, en := range e.cache {
+		if opt.NoPruning || en.bucket.Overlaps(qbucket) {
+			cands = append(cands, en)
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].id < cands[j].id })
+	if len(cands) == 0 {
+		return nil, nil
+	}
+
+	kinds := opt.kinds()
+	lists := make([][]float64, len(kinds))
+	for ki, kind := range kinds {
+		qd := qset.Get(kind)
+		if qd == nil {
+			return nil, fmt.Errorf("core: query lacks %v descriptor", kind)
+		}
+		dist := make([]float64, len(cands))
+		for i, en := range cands {
+			cd := en.set.Get(kind)
+			if cd == nil {
+				dist[i] = 1e9 // missing stored descriptor ranks last
+				continue
+			}
+			d, err := qd.DistanceTo(cd)
+			if err != nil {
+				return nil, err
+			}
+			dist[i] = d
+		}
+		lists[ki] = dist
+	}
+	var fused []float64
+	if len(kinds) == 1 {
+		fused = lists[0]
+	} else if opt.Fusion == FusionMinMax {
+		for _, l := range lists {
+			similarity.Normalize(l)
+		}
+		fused = similarity.Fuse(lists, opt.Weights)
+	} else {
+		// RRF returns negated scores; rescale into [0,1] so reported
+		// combined distances read like the single-feature ones.
+		fused = similarity.Normalize(similarity.RRF(lists, similarity.RRFConstant))
+	}
+
+	ids := make([]int64, len(cands))
+	for i, en := range cands {
+		ids[i] = en.id
+	}
+	ranked := similarity.Rank(ids, fused)
+	k := opt.K
+	if k <= 0 || k > len(ranked) {
+		k = len(ranked)
+	}
+	out := make([]Match, k)
+	for i := 0; i < k; i++ {
+		en := e.cache[ranked[i].ID]
+		out[i] = Match{
+			KeyFrameID: en.id,
+			VideoID:    en.videoID,
+			VideoName:  e.vname[en.videoID],
+			FrameIndex: en.frameIdx,
+			Distance:   ranked[i].Distance,
+		}
+	}
+	return out, nil
+}
+
+// SearchVideo ranks stored videos against a query clip using the paper's
+// dynamic-programming sequence similarity: the query's key-frame
+// descriptor sequence is aligned (DTW) against each stored video's
+// key-frame sequence, with per-pair cost the equally weighted sum of
+// fixed-scale feature distances.
+func (e *Engine) SearchVideo(queryFrames []*imaging.Image, opt SearchOptions) ([]VideoMatch, error) {
+	if err := e.warmCache(); err != nil {
+		return nil, err
+	}
+	kex := keyframe.Extractor{Threshold: e.opts.KeyframeThreshold}
+	kfs, err := kex.Extract(queryFrames)
+	if err != nil {
+		return nil, err
+	}
+	if len(kfs) == 0 {
+		return nil, errors.New("core: query clip has no frames")
+	}
+	qsets := make([]*features.Set, len(kfs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, e.workers())
+	for i := range kfs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			qsets[i] = features.ExtractAll(kfs[i].Image)
+		}(i)
+	}
+	wg.Wait()
+	return e.searchVideoSets(qsets, opt)
+}
+
+// searchVideoSets aligns pre-extracted query descriptor sequences against
+// every stored video.
+func (e *Engine) searchVideoSets(qsets []*features.Set, opt SearchOptions) ([]VideoMatch, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+
+	// Group stored frames by video, ordered by frame index.
+	byVideo := make(map[int64][]*frameEntry)
+	for _, en := range e.cache {
+		byVideo[en.videoID] = append(byVideo[en.videoID], en)
+	}
+	kinds := opt.kinds()
+	var out []VideoMatch
+	for vid, ens := range byVideo {
+		sort.Slice(ens, func(i, j int) bool { return ens[i].frameIdx < ens[j].frameIdx })
+		cost := func(i, j int) float64 {
+			return fixedScaleDistance(qsets[i], ens[j].set, kinds)
+		}
+		d := similarity.DTW(len(qsets), len(ens), cost)
+		out = append(out, VideoMatch{VideoID: vid, VideoName: e.vname[vid], Distance: d})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Distance != out[j].Distance {
+			return out[i].Distance < out[j].Distance
+		}
+		return out[i].VideoID < out[j].VideoID
+	})
+	if opt.K > 0 && opt.K < len(out) {
+		out = out[:opt.K]
+	}
+	return out, nil
+}
+
+// fixedKindScale brings each feature's raw distance to a comparable unit
+// magnitude for use inside DTW cost functions, where per-candidate min-max
+// normalisation is not available.
+var fixedKindScale = map[features.Kind]float64{
+	features.KindHistogram:   2,     // L1 over distributions is in [0,2]
+	features.KindGLCM:        2,     // scaled L2, typically < 2
+	features.KindGabor:       0.5,   // magnitude-normalised responses
+	features.KindTamura:      2,     // scaled L2 + half-L1 directionality
+	features.KindCorrelogram: 0.5,   // mean |Δ| of max-normalised cells
+	features.KindRegions:     10,    // counts
+	features.KindNaive:       11025, // 25 × max per-point distance (441)
+}
+
+// fixedScaleDistance fuses per-kind distances with fixed scales (equal
+// weights).
+func fixedScaleDistance(a, b *features.Set, kinds []features.Kind) float64 {
+	var sum float64
+	n := 0
+	for _, kind := range kinds {
+		da, db := a.Get(kind), b.Get(kind)
+		if da == nil || db == nil {
+			continue
+		}
+		d, err := da.DistanceTo(db)
+		if err != nil {
+			continue
+		}
+		sum += d / fixedKindScale[kind]
+		n++
+	}
+	if n == 0 {
+		return 1e9
+	}
+	return sum / float64(n)
+}
+
+// BestSingleFrameVideoSearch ranks videos by the single best frame-to-
+// frame distance instead of DP alignment (the DP ablation baseline).
+func (e *Engine) BestSingleFrameVideoSearch(qsets []*features.Set, opt SearchOptions) ([]VideoMatch, error) {
+	if err := e.warmCache(); err != nil {
+		return nil, err
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	kinds := opt.kinds()
+	best := make(map[int64]float64)
+	for _, en := range e.cache {
+		for _, q := range qsets {
+			d := fixedScaleDistance(q, en.set, kinds)
+			if cur, ok := best[en.videoID]; !ok || d < cur {
+				best[en.videoID] = d
+			}
+		}
+	}
+	out := make([]VideoMatch, 0, len(best))
+	for vid, d := range best {
+		out = append(out, VideoMatch{VideoID: vid, VideoName: e.vname[vid], Distance: d})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Distance != out[j].Distance {
+			return out[i].Distance < out[j].Distance
+		}
+		return out[i].VideoID < out[j].VideoID
+	})
+	if opt.K > 0 && opt.K < len(out) {
+		out = out[:opt.K]
+	}
+	return out, nil
+}
+
+// ExtractQuerySets is a helper for evaluation harnesses: extract
+// descriptor sets for a batch of frames in parallel.
+func (e *Engine) ExtractQuerySets(frames []*imaging.Image) []*features.Set {
+	out := make([]*features.Set, len(frames))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, e.workers())
+	for i := range frames {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			out[i] = features.ExtractAll(frames[i])
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+// SearchWithSet runs the frame search with pre-extracted query descriptors
+// (evaluation harness; avoids re-extracting per feature configuration).
+func (e *Engine) SearchWithSet(qset *features.Set, qbucket rangeindex.Range, opt SearchOptions) ([]Match, error) {
+	return e.searchSet(qset, qbucket, opt)
+}
+
+// CacheSize reports the number of cached (scoreable) key frames.
+func (e *Engine) CacheSize() (int, error) {
+	if err := e.warmCache(); err != nil {
+		return 0, err
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return len(e.cache), nil
+}

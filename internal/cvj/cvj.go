@@ -1,0 +1,195 @@
+// Package cvj implements a minimal MJPEG-style video container ("CVJ" —
+// Container of Video JPEGs). It substitutes for the MPEG/AVI clips the
+// paper downloads from archive.org: a CVJ file is a real binary artefact
+// (magic, header, length-prefixed JPEG frames, trailer) that can be stored
+// as a BLOB in the VIDEO_STORE table and decoded back into frames.
+//
+// The streaming Reader is the repository's "video to jpeg converter"
+// (paper §4.1 input: "Frames of video extracted by video to jpeg
+// converter").
+//
+// File layout (all integers big-endian):
+//
+//	offset 0: magic "CVJ1" (4 bytes)
+//	offset 4: uint16 version (currently 1)
+//	offset 6: uint16 fps
+//	then, per frame: uint32 length, followed by <length> JPEG bytes
+//	terminator: uint32 0
+//	trailer: uint32 frame count (must match the number of frames read)
+package cvj
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"cbvr/internal/imaging"
+)
+
+// Magic identifies a CVJ stream.
+const Magic = "CVJ1"
+
+// Version is the current container version.
+const Version = 1
+
+// maxFrameSize bounds a single frame record to guard against corrupt
+// headers when decoding untrusted bytes.
+const maxFrameSize = 64 << 20
+
+// ErrBadMagic is returned when a stream does not start with the CVJ magic.
+var ErrBadMagic = errors.New("cvj: bad magic")
+
+// Video is a fully decoded clip.
+type Video struct {
+	FPS    int
+	Frames []*imaging.Image
+}
+
+// Encode writes frames as a CVJ stream. quality <= 0 selects the imaging
+// default JPEG quality.
+func Encode(w io.Writer, frames []*imaging.Image, fps, quality int) error {
+	if fps <= 0 {
+		fps = 12
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(Magic); err != nil {
+		return fmt.Errorf("cvj: write magic: %w", err)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint16(hdr[0:2], Version)
+	binary.BigEndian.PutUint16(hdr[2:4], uint16(fps))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return fmt.Errorf("cvj: write header: %w", err)
+	}
+	var buf bytes.Buffer
+	for i, f := range frames {
+		buf.Reset()
+		if err := f.EncodeJPEG(&buf, quality); err != nil {
+			return fmt.Errorf("cvj: encode frame %d: %w", i, err)
+		}
+		var lenb [4]byte
+		binary.BigEndian.PutUint32(lenb[:], uint32(buf.Len()))
+		if _, err := bw.Write(lenb[:]); err != nil {
+			return fmt.Errorf("cvj: write frame %d length: %w", i, err)
+		}
+		if _, err := bw.Write(buf.Bytes()); err != nil {
+			return fmt.Errorf("cvj: write frame %d: %w", i, err)
+		}
+	}
+	var tail [8]byte
+	binary.BigEndian.PutUint32(tail[0:4], 0)
+	binary.BigEndian.PutUint32(tail[4:8], uint32(len(frames)))
+	if _, err := bw.Write(tail[:]); err != nil {
+		return fmt.Errorf("cvj: write trailer: %w", err)
+	}
+	return bw.Flush()
+}
+
+// EncodeBytes is Encode into a fresh byte slice.
+func EncodeBytes(frames []*imaging.Image, fps, quality int) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := Encode(&buf, frames, fps, quality); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode reads an entire CVJ stream into memory.
+func Decode(r io.Reader) (*Video, error) {
+	cr, err := NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	v := &Video{FPS: cr.FPS()}
+	for {
+		f, err := cr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		v.Frames = append(v.Frames, f)
+	}
+	return v, nil
+}
+
+// DecodeBytes is Decode over an in-memory buffer (e.g. a BLOB column).
+func DecodeBytes(b []byte) (*Video, error) {
+	return Decode(bytes.NewReader(b))
+}
+
+// Reader decodes a CVJ stream one frame at a time.
+type Reader struct {
+	br    *bufio.Reader
+	fps   int
+	count int
+	done  bool
+}
+
+// NewReader validates the header and returns a streaming frame reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("cvj: read magic: %w", err)
+	}
+	if string(magic[:]) != Magic {
+		return nil, ErrBadMagic
+	}
+	var hdr [4]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("cvj: read header: %w", err)
+	}
+	if v := binary.BigEndian.Uint16(hdr[0:2]); v != Version {
+		return nil, fmt.Errorf("cvj: unsupported version %d", v)
+	}
+	return &Reader{br: br, fps: int(binary.BigEndian.Uint16(hdr[2:4]))}, nil
+}
+
+// FPS reports the nominal frame rate from the header.
+func (r *Reader) FPS() int { return r.fps }
+
+// FramesRead reports how many frames have been decoded so far.
+func (r *Reader) FramesRead() int { return r.count }
+
+// Next decodes the next frame, or returns io.EOF after the last frame.
+// On EOF the trailer count has been verified against the frames read.
+func (r *Reader) Next() (*imaging.Image, error) {
+	if r.done {
+		return nil, io.EOF
+	}
+	var lenb [4]byte
+	if _, err := io.ReadFull(r.br, lenb[:]); err != nil {
+		return nil, fmt.Errorf("cvj: read frame length: %w", err)
+	}
+	n := binary.BigEndian.Uint32(lenb[:])
+	if n == 0 {
+		// Terminator: validate trailer.
+		var cnt [4]byte
+		if _, err := io.ReadFull(r.br, cnt[:]); err != nil {
+			return nil, fmt.Errorf("cvj: read trailer: %w", err)
+		}
+		if got := binary.BigEndian.Uint32(cnt[:]); int(got) != r.count {
+			return nil, fmt.Errorf("cvj: trailer count %d != frames read %d", got, r.count)
+		}
+		r.done = true
+		return nil, io.EOF
+	}
+	if n > maxFrameSize {
+		return nil, fmt.Errorf("cvj: frame size %d exceeds limit", n)
+	}
+	jp := make([]byte, n)
+	if _, err := io.ReadFull(r.br, jp); err != nil {
+		return nil, fmt.Errorf("cvj: read frame %d: %w", r.count, err)
+	}
+	im, err := imaging.DecodeJPEG(bytes.NewReader(jp))
+	if err != nil {
+		return nil, fmt.Errorf("cvj: frame %d: %w", r.count, err)
+	}
+	r.count++
+	return im, nil
+}

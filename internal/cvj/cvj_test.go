@@ -1,0 +1,124 @@
+package cvj
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"cbvr/internal/imaging"
+	"cbvr/internal/synthvid"
+)
+
+func testFrames(n int) []*imaging.Image {
+	v := synthvid.Generate(synthvid.Cartoon, synthvid.Config{Frames: n, Shots: 2, Seed: 77})
+	return v.Frames
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	frames := testFrames(6)
+	raw, err := EncodeBytes(frames, 15, 90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := DecodeBytes(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.FPS != 15 {
+		t.Errorf("fps = %d", v.FPS)
+	}
+	if len(v.Frames) != len(frames) {
+		t.Fatalf("frames = %d, want %d", len(v.Frames), len(frames))
+	}
+	for i := range frames {
+		if v.Frames[i].W != frames[i].W || v.Frames[i].H != frames[i].H {
+			t.Fatalf("frame %d dims changed", i)
+		}
+	}
+}
+
+func TestStreamingReaderCountsAndEOF(t *testing.T) {
+	frames := testFrames(4)
+	raw, _ := EncodeBytes(frames, 10, 0)
+	r, err := NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for {
+		_, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if n != 4 || r.FramesRead() != 4 {
+		t.Errorf("read %d frames (reader says %d)", n, r.FramesRead())
+	}
+	// Next after EOF keeps returning EOF.
+	if _, err := r.Next(); err != io.EOF {
+		t.Errorf("post-EOF: %v", err)
+	}
+}
+
+func TestBadMagicRejected(t *testing.T) {
+	if _, err := DecodeBytes([]byte("AVI0xxxxxxxx")); err != ErrBadMagic {
+		t.Errorf("want ErrBadMagic, got %v", err)
+	}
+}
+
+func TestTruncatedStreamRejected(t *testing.T) {
+	frames := testFrames(2)
+	raw, _ := EncodeBytes(frames, 10, 0)
+	for _, cut := range []int{5, 9, len(raw) / 2, len(raw) - 3} {
+		if _, err := DecodeBytes(raw[:cut]); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestCorruptTrailerCountRejected(t *testing.T) {
+	frames := testFrames(2)
+	raw, _ := EncodeBytes(frames, 10, 0)
+	// Trailer count is the last 4 bytes.
+	raw[len(raw)-1] ^= 0x7
+	if _, err := DecodeBytes(raw); err == nil {
+		t.Error("corrupt trailer accepted")
+	}
+}
+
+func TestCorruptFrameBytesRejected(t *testing.T) {
+	frames := testFrames(1)
+	raw, _ := EncodeBytes(frames, 10, 0)
+	// Smash the JPEG SOI marker (first frame's payload starts at offset
+	// 12 after the 8-byte header and 4-byte length prefix).
+	raw[12], raw[13] = 0x00, 0x00
+	if _, err := DecodeBytes(raw); err == nil {
+		t.Error("corrupt JPEG accepted")
+	}
+}
+
+func TestEmptyVideo(t *testing.T) {
+	raw, err := EncodeBytes(nil, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := DecodeBytes(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v.Frames) != 0 {
+		t.Errorf("frames = %d", len(v.Frames))
+	}
+}
+
+func TestDefaultFPSApplied(t *testing.T) {
+	raw, _ := EncodeBytes(testFrames(1), 0, 0)
+	v, _ := DecodeBytes(raw)
+	if v.FPS != 12 {
+		t.Errorf("default fps = %d", v.FPS)
+	}
+}

@@ -1,0 +1,186 @@
+package features
+
+import (
+	"fmt"
+	"strings"
+
+	"cbvr/internal/imaging"
+)
+
+// Auto colour correlogram geometry (§4.7). The paper's sample output is
+// "ACC 4 …" — maxDistance 4 — followed by per-colour groups of 4 values.
+const (
+	// CorrelogramBins quantises HSV into 16 hue × 2 saturation × 2 value
+	// cells.
+	CorrelogramBins = 64
+	// CorrelogramMaxDistance is the largest Chebyshev ring radius.
+	CorrelogramMaxDistance = 4
+)
+
+// Correlogram is the §4.7 auto colour correlogram: for each quantised
+// colour c and distance d, the max-normalised count of same-colour pixels
+// on the Chebyshev ring of radius d (the pseudo-code's normalisation
+// divides by the per-distance maximum over colours, not by a probability
+// denominator — we keep that faithfully).
+type Correlogram struct {
+	Cor [CorrelogramBins][CorrelogramMaxDistance]float64
+}
+
+// QuantizeHSV maps an RGB pixel into one of the 64 HSV cells.
+func QuantizeHSV(r, g, b uint8) int {
+	h, s, v := imaging.RGBToHSV(r, g, b)
+	hb := int(h / 360 * 16)
+	if hb > 15 {
+		hb = 15
+	}
+	sb := 0
+	if s >= 0.5 {
+		sb = 1
+	}
+	vb := 0
+	if v >= 0.5 {
+		vb = 1
+	}
+	return hb<<2 | sb<<1 | vb
+}
+
+// ExtractCorrelogram computes the §4.7 descriptor over the 300×300
+// analysis raster.
+func ExtractCorrelogram(im *imaging.Image) *Correlogram {
+	a := analysisImage(im)
+	w, h := a.W, a.H
+	quant := make([]uint8, w*h)
+	for i, p := 0, 0; i < w*h; i, p = i+1, p+3 {
+		quant[i] = uint8(QuantizeHSV(a.Pix[p], a.Pix[p+1], a.Pix[p+2]))
+	}
+	var raw [CorrelogramBins][CorrelogramMaxDistance]float64
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			c := quant[y*w+x]
+			for d := 1; d <= CorrelogramMaxDistance; d++ {
+				raw[c][d-1] += float64(countRing(quant, w, h, x, y, d, c))
+			}
+		}
+	}
+	out := &Correlogram{}
+	// Paper normalisation: divide by the per-distance maximum across
+	// colours.
+	for d := 0; d < CorrelogramMaxDistance; d++ {
+		var max float64
+		for c := 0; c < CorrelogramBins; c++ {
+			if raw[c][d] > max {
+				max = raw[c][d]
+			}
+		}
+		if max == 0 {
+			continue
+		}
+		for c := 0; c < CorrelogramBins; c++ {
+			out.Cor[c][d] = raw[c][d] / max
+		}
+	}
+	return out
+}
+
+// countRing counts pixels with quantised colour c on the Chebyshev ring of
+// radius d around (x, y), clipped to the image.
+func countRing(quant []uint8, w, h, x, y, d int, c uint8) int {
+	n := 0
+	x0, x1 := x-d, x+d
+	y0, y1 := y-d, y+d
+	// Top and bottom rows.
+	for _, ry := range [2]int{y0, y1} {
+		if ry < 0 || ry >= h {
+			continue
+		}
+		for rx := x0; rx <= x1; rx++ {
+			if rx < 0 || rx >= w {
+				continue
+			}
+			if quant[ry*w+rx] == c {
+				n++
+			}
+		}
+	}
+	// Left and right columns, excluding corners already counted.
+	for _, rx := range [2]int{x0, x1} {
+		if rx < 0 || rx >= w {
+			continue
+		}
+		for ry := y0 + 1; ry < y1; ry++ {
+			if ry < 0 || ry >= h {
+				continue
+			}
+			if quant[ry*w+rx] == c {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Kind implements Descriptor.
+func (c *Correlogram) Kind() Kind { return KindCorrelogram }
+
+// String renders the paper's format: "ACC 4 <c0d1> <c0d2> <c0d3> <c0d4>
+// <c1d1> …".
+func (c *Correlogram) String() string {
+	var sb strings.Builder
+	sb.Grow(CorrelogramBins * CorrelogramMaxDistance * 12)
+	sb.WriteString("ACC 4")
+	for b := 0; b < CorrelogramBins; b++ {
+		for d := 0; d < CorrelogramMaxDistance; d++ {
+			sb.WriteByte(' ')
+			sb.WriteString(formatFloat(c.Cor[b][d]))
+		}
+	}
+	return sb.String()
+}
+
+// ParseCorrelogram reconstructs a correlogram from its String form.
+func ParseCorrelogram(s string) (*Correlogram, error) {
+	fields, err := fieldsAfterPrefix(s, "ACC")
+	if err != nil {
+		return nil, err
+	}
+	want := CorrelogramBins*CorrelogramMaxDistance + 1
+	if len(fields) != want {
+		return nil, fmt.Errorf("features: correlogram wants %d fields, got %d", want, len(fields))
+	}
+	if fields[0] != "4" {
+		return nil, fmt.Errorf("features: correlogram distance field %q", fields[0])
+	}
+	vs, err := parseFloats(fields[1:])
+	if err != nil {
+		return nil, err
+	}
+	out := &Correlogram{}
+	i := 0
+	for b := 0; b < CorrelogramBins; b++ {
+		for d := 0; d < CorrelogramMaxDistance; d++ {
+			out.Cor[b][d] = vs[i]
+			i++
+		}
+	}
+	return out, nil
+}
+
+// DistanceTo returns the mean absolute difference across all
+// (colour, distance) cells.
+func (c *Correlogram) DistanceTo(other Descriptor) (float64, error) {
+	o, ok := other.(*Correlogram)
+	if !ok {
+		return 0, kindMismatch(KindCorrelogram, other)
+	}
+	var sum float64
+	for b := 0; b < CorrelogramBins; b++ {
+		for d := 0; d < CorrelogramMaxDistance; d++ {
+			diff := c.Cor[b][d] - o.Cor[b][d]
+			if diff < 0 {
+				diff = -diff
+			}
+			sum += diff
+		}
+	}
+	return sum / (CorrelogramBins * CorrelogramMaxDistance), nil
+}

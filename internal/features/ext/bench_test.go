@@ -1,0 +1,54 @@
+package ext
+
+import (
+	"testing"
+
+	"cbvr/internal/imaging"
+)
+
+func benchFrame() *imaging.Image {
+	return testFrame(42)
+}
+
+func BenchmarkExtractEHD(b *testing.B) {
+	im := benchFrame()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ExtractEHD(im)
+	}
+}
+
+func BenchmarkExtractCLD(b *testing.B) {
+	im := benchFrame()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ExtractCLD(im)
+	}
+}
+
+func BenchmarkExtractDCD(b *testing.B) {
+	im := benchFrame()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ExtractDCD(im)
+	}
+}
+
+func BenchmarkRerank8(b *testing.B) {
+	query := benchFrame()
+	cands := make([]*imaging.Image, 8)
+	for i := range cands {
+		cands[i] = testFrame(int64(100 + i))
+	}
+	exs := []Extractor{
+		func(im *imaging.Image) Descriptor { return ExtractEHD(im) },
+		func(im *imaging.Image) Descriptor { return ExtractCLD(im) },
+		func(im *imaging.Image) Descriptor { return ExtractDCD(im) },
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Rerank(query, cands, exs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,209 @@
+package ext
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"cbvr/internal/imaging"
+)
+
+// The MPEG-7 Color Layout Descriptor shrinks the frame to an 8×8 grid of
+// mean colours, converts to YCbCr, applies an 8×8 2D DCT per channel and
+// keeps the first coefficients in zigzag order: 6 for Y, 3 for Cb, 3 for
+// Cr — 12 values that capture the spatial colour layout.
+const (
+	cldGrid = 8
+	cldYLen = 6
+	cldCLen = 3
+)
+
+// CLD is the 12-coefficient colour layout descriptor.
+type CLD struct {
+	Y  [cldYLen]float64
+	Cb [cldCLen]float64
+	Cr [cldCLen]float64
+}
+
+// MPEG-7 suggests weighting low-frequency coefficients more heavily.
+var (
+	cldYW = [cldYLen]float64{2, 2, 2, 1, 1, 1}
+	cldCW = [cldCLen]float64{2, 1, 1}
+)
+
+// zigzag8 holds the (row, col) visiting order of an 8×8 zigzag scan.
+var zigzag8 = buildZigzag()
+
+func buildZigzag() [64][2]int {
+	var out [64][2]int
+	i := 0
+	for s := 0; s < 15; s++ {
+		if s%2 == 0 { // up-right
+			for r := minInt(s, 7); r >= maxInt(0, s-7); r-- {
+				out[i] = [2]int{r, s - r}
+				i++
+			}
+		} else { // down-left
+			for r := maxInt(0, s-7); r <= minInt(s, 7); r++ {
+				out[i] = [2]int{r, s - r}
+				i++
+			}
+		}
+	}
+	return out
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// dct8x8 computes the orthonormal 2D DCT-II of an 8×8 block in place.
+func dct8x8(block *[cldGrid][cldGrid]float64) {
+	var tmp [cldGrid][cldGrid]float64
+	for u := 0; u < cldGrid; u++ {
+		for v := 0; v < cldGrid; v++ {
+			var sum float64
+			for x := 0; x < cldGrid; x++ {
+				for y := 0; y < cldGrid; y++ {
+					sum += block[x][y] *
+						math.Cos((2*float64(x)+1)*float64(u)*math.Pi/16) *
+						math.Cos((2*float64(y)+1)*float64(v)*math.Pi/16)
+				}
+			}
+			cu, cv := 1.0, 1.0
+			if u == 0 {
+				cu = 1 / math.Sqrt2
+			}
+			if v == 0 {
+				cv = 1 / math.Sqrt2
+			}
+			tmp[u][v] = sum * cu * cv / 4
+		}
+	}
+	*block = tmp
+}
+
+// ExtractCLD computes the colour layout descriptor of a frame.
+func ExtractCLD(im *imaging.Image) *CLD {
+	// 8×8 grid of channel means.
+	var yb, cbb, crb [cldGrid][cldGrid]float64
+	cw := (im.W + cldGrid - 1) / cldGrid
+	ch := (im.H + cldGrid - 1) / cldGrid
+	if cw == 0 {
+		cw = 1
+	}
+	if ch == 0 {
+		ch = 1
+	}
+	for gy := 0; gy < cldGrid; gy++ {
+		for gx := 0; gx < cldGrid; gx++ {
+			var r, g, b, n float64
+			for y := gy * ch; y < (gy+1)*ch && y < im.H; y++ {
+				for x := gx * cw; x < (gx+1)*cw && x < im.W; x++ {
+					pr, pg, pb := im.At(x, y)
+					r += float64(pr)
+					g += float64(pg)
+					b += float64(pb)
+					n++
+				}
+			}
+			if n > 0 {
+				r, g, b = r/n, g/n, b/n
+			}
+			// BT.601 YCbCr.
+			yb[gy][gx] = 0.299*r + 0.587*g + 0.114*b - 128
+			cbb[gy][gx] = -0.168736*r - 0.331264*g + 0.5*b
+			crb[gy][gx] = 0.5*r - 0.418688*g - 0.081312*b
+		}
+	}
+	dct8x8(&yb)
+	dct8x8(&cbb)
+	dct8x8(&crb)
+	out := &CLD{}
+	for i := 0; i < cldYLen; i++ {
+		rc := zigzag8[i]
+		out.Y[i] = yb[rc[0]][rc[1]]
+	}
+	for i := 0; i < cldCLen; i++ {
+		rc := zigzag8[i]
+		out.Cb[i] = cbb[rc[0]][rc[1]]
+		out.Cr[i] = crb[rc[0]][rc[1]]
+	}
+	return out
+}
+
+// Name implements Descriptor.
+func (c *CLD) Name() string { return "CLD" }
+
+// String renders "CLD <y0..y5> <cb0..cb2> <cr0..cr2>".
+func (c *CLD) String() string {
+	var sb strings.Builder
+	sb.WriteString("CLD")
+	for _, v := range c.Y {
+		sb.WriteByte(' ')
+		sb.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+	}
+	for _, v := range c.Cb {
+		sb.WriteByte(' ')
+		sb.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+	}
+	for _, v := range c.Cr {
+		sb.WriteByte(' ')
+		sb.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+	}
+	return sb.String()
+}
+
+// ParseCLD reconstructs a CLD from its String form.
+func ParseCLD(s string) (*CLD, error) {
+	fields := strings.Fields(s)
+	want := 1 + cldYLen + 2*cldCLen
+	if len(fields) != want || fields[0] != "CLD" {
+		return nil, fmt.Errorf("ext: malformed CLD (%d fields)", len(fields))
+	}
+	vals := make([]float64, 0, want-1)
+	for i, f := range fields[1:] {
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			return nil, fmt.Errorf("ext: CLD coefficient %d: %w", i, err)
+		}
+		vals = append(vals, v)
+	}
+	out := &CLD{}
+	copy(out.Y[:], vals[:cldYLen])
+	copy(out.Cb[:], vals[cldYLen:cldYLen+cldCLen])
+	copy(out.Cr[:], vals[cldYLen+cldCLen:])
+	return out, nil
+}
+
+// DistanceTo is the MPEG-7 CLD distance: the sum over channels of the
+// square root of the weighted squared coefficient differences.
+func (c *CLD) DistanceTo(other Descriptor) (float64, error) {
+	o, ok := other.(*CLD)
+	if !ok {
+		return 0, nameMismatch("CLD", other)
+	}
+	var dy, dcb, dcr float64
+	for i := 0; i < cldYLen; i++ {
+		d := c.Y[i] - o.Y[i]
+		dy += cldYW[i] * d * d
+	}
+	for i := 0; i < cldCLen; i++ {
+		d := c.Cb[i] - o.Cb[i]
+		dcb += cldCW[i] * d * d
+		d = c.Cr[i] - o.Cr[i]
+		dcr += cldCW[i] * d * d
+	}
+	return math.Sqrt(dy) + math.Sqrt(dcb) + math.Sqrt(dcr), nil
+}

@@ -1,0 +1,234 @@
+package ext
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"cbvr/internal/imaging"
+)
+
+// The MPEG-7 Dominant Color Descriptor summarises a frame as up to
+// dcdMaxColors representative colours with their coverage fractions,
+// computed here by a deterministic k-means in RGB space (centroids seeded
+// from luminance quantiles so extraction has no random state).
+const (
+	dcdMaxColors  = 4
+	dcdIterations = 12
+	dcdAnalysis   = 64 // sampling raster side
+	// dcdMergeDist collapses centroids closer than this (RGB Euclidean).
+	dcdMergeDist = 24.0
+)
+
+// DominantColor is one palette entry.
+type DominantColor struct {
+	R, G, B  uint8
+	Fraction float64 // coverage in [0,1]
+}
+
+// DCD is the dominant colour descriptor: 1..4 palette entries ordered by
+// descending fraction.
+type DCD struct {
+	Colors []DominantColor
+}
+
+// ExtractDCD computes the dominant colours of a frame.
+func ExtractDCD(im *imaging.Image) *DCD {
+	small := im.Rescale(dcdAnalysis, dcdAnalysis)
+	n := dcdAnalysis * dcdAnalysis
+	px := make([][3]float64, n)
+	for i, p := 0, 0; i < n; i, p = i+1, p+3 {
+		px[i] = [3]float64{float64(small.Pix[p]), float64(small.Pix[p+1]), float64(small.Pix[p+2])}
+	}
+
+	// Seed centroids at luminance quantiles for determinism.
+	byLuma := make([]int, n)
+	for i := range byLuma {
+		byLuma[i] = i
+	}
+	luma := func(c [3]float64) float64 { return 0.299*c[0] + 0.587*c[1] + 0.114*c[2] }
+	sort.Slice(byLuma, func(a, b int) bool { return luma(px[byLuma[a]]) < luma(px[byLuma[b]]) })
+	cents := make([][3]float64, dcdMaxColors)
+	for k := 0; k < dcdMaxColors; k++ {
+		cents[k] = px[byLuma[(2*k+1)*n/(2*dcdMaxColors)]]
+	}
+
+	assign := make([]int, n)
+	for iter := 0; iter < dcdIterations; iter++ {
+		var sums [dcdMaxColors][3]float64
+		var counts [dcdMaxColors]float64
+		for i, p := range px {
+			best, bestD := 0, math.MaxFloat64
+			for k := range cents {
+				d := sqDist(p, cents[k])
+				if d < bestD {
+					best, bestD = k, d
+				}
+			}
+			assign[i] = best
+			for c := 0; c < 3; c++ {
+				sums[best][c] += p[c]
+			}
+			counts[best]++
+		}
+		for k := range cents {
+			if counts[k] == 0 {
+				continue
+			}
+			for c := 0; c < 3; c++ {
+				cents[k][c] = sums[k][c] / counts[k]
+			}
+		}
+	}
+
+	// Fractions, merge near-duplicates, sort by coverage.
+	var counts [dcdMaxColors]float64
+	for _, a := range assign {
+		counts[a]++
+	}
+	type entry struct {
+		c [3]float64
+		f float64
+	}
+	var entries []entry
+	for k := range cents {
+		if counts[k] == 0 {
+			continue
+		}
+		merged := false
+		for i := range entries {
+			if math.Sqrt(sqDist(entries[i].c, cents[k])) < dcdMergeDist {
+				// Weighted merge.
+				tf := entries[i].f + counts[k]/float64(n)
+				for c := 0; c < 3; c++ {
+					entries[i].c[c] = (entries[i].c[c]*entries[i].f + cents[k][c]*counts[k]/float64(n)) / tf
+				}
+				entries[i].f = tf
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			entries = append(entries, entry{cents[k], counts[k] / float64(n)})
+		}
+	}
+	sort.Slice(entries, func(a, b int) bool {
+		if entries[a].f != entries[b].f {
+			return entries[a].f > entries[b].f
+		}
+		return luma(entries[a].c) < luma(entries[b].c)
+	})
+	out := &DCD{}
+	for _, e := range entries {
+		out.Colors = append(out.Colors, DominantColor{
+			R: clamp8(e.c[0]), G: clamp8(e.c[1]), B: clamp8(e.c[2]), Fraction: e.f,
+		})
+	}
+	return out
+}
+
+func sqDist(a, b [3]float64) float64 {
+	var s float64
+	for c := 0; c < 3; c++ {
+		d := a[c] - b[c]
+		s += d * d
+	}
+	return s
+}
+
+func clamp8(v float64) uint8 {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return uint8(v + 0.5)
+}
+
+// Name implements Descriptor.
+func (d *DCD) Name() string { return "DCD" }
+
+// String renders "DCD <n> r,g,b,frac …".
+func (d *DCD) String() string {
+	var sb strings.Builder
+	sb.WriteString("DCD ")
+	sb.WriteString(strconv.Itoa(len(d.Colors)))
+	for _, c := range d.Colors {
+		fmt.Fprintf(&sb, " %d,%d,%d,%s", c.R, c.G, c.B, strconv.FormatFloat(c.Fraction, 'g', -1, 64))
+	}
+	return sb.String()
+}
+
+// ParseDCD reconstructs a DCD from its String form.
+func ParseDCD(s string) (*DCD, error) {
+	fields := strings.Fields(s)
+	if len(fields) < 2 || fields[0] != "DCD" {
+		return nil, fmt.Errorf("ext: malformed DCD %.20q", s)
+	}
+	n, err := strconv.Atoi(fields[1])
+	if err != nil || n < 0 || n > dcdMaxColors || len(fields) != n+2 {
+		return nil, fmt.Errorf("ext: DCD colour count %q with %d entries", fields[1], len(fields)-2)
+	}
+	out := &DCD{}
+	for i := 0; i < n; i++ {
+		parts := strings.Split(fields[i+2], ",")
+		if len(parts) != 4 {
+			return nil, fmt.Errorf("ext: DCD entry %d malformed", i)
+		}
+		var rgb [3]int
+		for c := 0; c < 3; c++ {
+			v, err := strconv.Atoi(parts[c])
+			if err != nil || v < 0 || v > 255 {
+				return nil, fmt.Errorf("ext: DCD entry %d channel %d", i, c)
+			}
+			rgb[c] = v
+		}
+		f, err := strconv.ParseFloat(parts[3], 64)
+		if err != nil || f < 0 || f > 1 {
+			return nil, fmt.Errorf("ext: DCD entry %d fraction", i)
+		}
+		out.Colors = append(out.Colors, DominantColor{
+			R: uint8(rgb[0]), G: uint8(rgb[1]), B: uint8(rgb[2]), Fraction: f,
+		})
+	}
+	return out, nil
+}
+
+// DistanceTo is the standard DCD dissimilarity: 1 minus twice the sum of
+// per-pair similarity contributions for colour pairs within a matching
+// radius, folded into [0, ~2]. Identical palettes give 0.
+func (d *DCD) DistanceTo(other Descriptor) (float64, error) {
+	o, ok := other.(*DCD)
+	if !ok {
+		return 0, nameMismatch("DCD", other)
+	}
+	const td = 60.0 // matching radius in RGB space
+	var f1sq, f2sq, cross float64
+	for _, c := range d.Colors {
+		f1sq += c.Fraction * c.Fraction
+	}
+	for _, c := range o.Colors {
+		f2sq += c.Fraction * c.Fraction
+	}
+	for _, c1 := range d.Colors {
+		for _, c2 := range o.Colors {
+			dist := math.Sqrt(sqDist(
+				[3]float64{float64(c1.R), float64(c1.G), float64(c1.B)},
+				[3]float64{float64(c2.R), float64(c2.G), float64(c2.B)},
+			))
+			if dist > td {
+				continue
+			}
+			a := 1 - dist/td
+			cross += 2 * a * c1.Fraction * c2.Fraction
+		}
+	}
+	v := f1sq + f2sq - cross
+	if v < 0 {
+		v = 0
+	}
+	return math.Sqrt(v), nil
+}

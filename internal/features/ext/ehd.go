@@ -1,0 +1,126 @@
+package ext
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"cbvr/internal/imaging"
+)
+
+// The MPEG-7 Edge Histogram Descriptor divides the frame into a 4×4 grid
+// of sub-images; each sub-image is scanned in 2×2 pixel blocks classified
+// into five edge types (vertical, horizontal, 45°, 135°, non-directional)
+// by the filter with the strongest response above a threshold. Each
+// sub-image contributes a 5-bin normalised histogram → 80 values.
+const (
+	ehdGrid      = 4
+	ehdTypes     = 5
+	ehdVectorLen = ehdGrid * ehdGrid * ehdTypes // 80
+	// ehdThreshold is the minimum winning filter magnitude for a block to
+	// vote (MPEG-7 XM default is 11 on 0..255 intensities).
+	ehdThreshold = 11.0
+	// ehdAnalysis is the grayscale raster side for extraction.
+	ehdAnalysis = 128
+)
+
+// EHD is the 80-bin edge histogram descriptor.
+type EHD struct {
+	Bins [ehdVectorLen]float64
+}
+
+// edge filter coefficients over a 2×2 block (a b / c d), MPEG-7 XM.
+var ehdFilters = [ehdTypes][4]float64{
+	{1, -1, 1, -1},                  // vertical
+	{1, 1, -1, -1},                  // horizontal
+	{math.Sqrt2, 0, 0, -math.Sqrt2}, // 45° diagonal
+	{0, math.Sqrt2, -math.Sqrt2, 0}, // 135° diagonal
+	{2, -2, -2, 2},                  // non-directional
+}
+
+// ExtractEHD computes the edge histogram of a frame.
+func ExtractEHD(im *imaging.Image) *EHD {
+	g := im.Rescale(ehdAnalysis, ehdAnalysis).ToGray()
+	out := &EHD{}
+	counts := [ehdGrid * ehdGrid]float64{}
+	sub := ehdAnalysis / ehdGrid
+	for by := 0; by+1 < ehdAnalysis; by += 2 {
+		for bx := 0; bx+1 < ehdAnalysis; bx += 2 {
+			a := float64(g.Pix[by*ehdAnalysis+bx])
+			b := float64(g.Pix[by*ehdAnalysis+bx+1])
+			c := float64(g.Pix[(by+1)*ehdAnalysis+bx])
+			d := float64(g.Pix[(by+1)*ehdAnalysis+bx+1])
+			bestType, bestMag := -1, ehdThreshold
+			for t := 0; t < ehdTypes; t++ {
+				f := ehdFilters[t]
+				mag := math.Abs(a*f[0] + b*f[1] + c*f[2] + d*f[3])
+				if mag > bestMag {
+					bestMag, bestType = mag, t
+				}
+			}
+			cell := (by/sub)*ehdGrid + bx/sub
+			counts[cell]++
+			if bestType >= 0 {
+				out.Bins[cell*ehdTypes+bestType]++
+			}
+		}
+	}
+	for cell := 0; cell < ehdGrid*ehdGrid; cell++ {
+		if counts[cell] == 0 {
+			continue
+		}
+		for t := 0; t < ehdTypes; t++ {
+			out.Bins[cell*ehdTypes+t] /= counts[cell]
+		}
+	}
+	return out
+}
+
+// Name implements Descriptor.
+func (e *EHD) Name() string { return "EHD" }
+
+// String renders "EHD 80 <b0> … <b79>".
+func (e *EHD) String() string {
+	var sb strings.Builder
+	sb.Grow(ehdVectorLen * 10)
+	sb.WriteString("EHD 80")
+	for _, v := range e.Bins {
+		sb.WriteByte(' ')
+		sb.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+	}
+	return sb.String()
+}
+
+// ParseEHD reconstructs an EHD from its String form.
+func ParseEHD(s string) (*EHD, error) {
+	fields := strings.Fields(s)
+	if len(fields) != ehdVectorLen+2 || fields[0] != "EHD" || fields[1] != "80" {
+		return nil, fmt.Errorf("ext: malformed EHD (%d fields)", len(fields))
+	}
+	out := &EHD{}
+	for i, f := range fields[2:] {
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			return nil, fmt.Errorf("ext: EHD bin %d: %w", i, err)
+		}
+		if v < 0 || v > 1 {
+			return nil, fmt.Errorf("ext: EHD bin %d out of range: %g", i, v)
+		}
+		out.Bins[i] = v
+	}
+	return out, nil
+}
+
+// DistanceTo is the L1 distance over the 80 bins.
+func (e *EHD) DistanceTo(other Descriptor) (float64, error) {
+	o, ok := other.(*EHD)
+	if !ok {
+		return 0, nameMismatch("EHD", other)
+	}
+	var sum float64
+	for i := range e.Bins {
+		sum += math.Abs(e.Bins[i] - o.Bins[i])
+	}
+	return sum, nil
+}

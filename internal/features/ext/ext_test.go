@@ -1,0 +1,310 @@
+package ext
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"cbvr/internal/imaging"
+	"cbvr/internal/synthvid"
+)
+
+func testFrame(seed int64) *imaging.Image {
+	v := synthvid.Generate(synthvid.Cartoon, synthvid.Config{Width: 96, Height: 72, Frames: 2, Shots: 1, Seed: seed})
+	return v.Frames[0]
+}
+
+func allDescriptors(im *imaging.Image) []Descriptor {
+	return []Descriptor{ExtractEHD(im), ExtractCLD(im), ExtractDCD(im)}
+}
+
+func TestStringRoundTripAll(t *testing.T) {
+	im := testFrame(1)
+	for _, d := range allDescriptors(im) {
+		s := d.String()
+		back, err := Parse(s)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", d.Name(), err)
+		}
+		if back.String() != s {
+			t.Errorf("%s: reserialisation differs", d.Name())
+		}
+		dist, err := d.DistanceTo(back)
+		if err != nil || dist > 1e-9 {
+			t.Errorf("%s: round-trip distance %g err=%v", d.Name(), dist, err)
+		}
+	}
+}
+
+func TestDistanceIdentitySymmetry(t *testing.T) {
+	a := allDescriptors(testFrame(2))
+	b := allDescriptors(testFrame(99))
+	for i := range a {
+		self, err := a[i].DistanceTo(a[i])
+		if err != nil || self > 1e-9 {
+			t.Errorf("%s: d(x,x)=%g err=%v", a[i].Name(), self, err)
+		}
+		ab, err1 := a[i].DistanceTo(b[i])
+		ba, err2 := b[i].DistanceTo(a[i])
+		if err1 != nil || err2 != nil || math.Abs(ab-ba) > 1e-9 {
+			t.Errorf("%s: asymmetric %g vs %g (%v %v)", a[i].Name(), ab, ba, err1, err2)
+		}
+		if ab < 0 {
+			t.Errorf("%s: negative distance", a[i].Name())
+		}
+	}
+}
+
+func TestCrossTypeDistanceRejected(t *testing.T) {
+	im := testFrame(3)
+	ds := allDescriptors(im)
+	for i := range ds {
+		other := ds[(i+1)%len(ds)]
+		if _, err := ds[i].DistanceTo(other); err == nil {
+			t.Errorf("%s accepted %s", ds[i].Name(), other.Name())
+		}
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	for _, s := range []string{"", "XYZ 1 2", "EHD 79 1", "CLD 1 2", "DCD 9", "DCD 1 300,0,0,0.5", "DCD 1 1,2,3,1.5"} {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("accepted %q", s)
+		}
+	}
+}
+
+func TestEHDBinsNormalised(t *testing.T) {
+	e := ExtractEHD(testFrame(4))
+	for i, v := range e.Bins {
+		if v < 0 || v > 1 {
+			t.Fatalf("bin %d = %g", i, v)
+		}
+	}
+}
+
+func TestEHDOrientationSensitivity(t *testing.T) {
+	// Odd-period stripes at the analysis resolution so edges fall inside
+	// the 2×2 blocks rather than exactly between them.
+	horiz := imaging.New(128, 128)
+	vert := imaging.New(128, 128)
+	for y := 0; y < 128; y++ {
+		for x := 0; x < 128; x++ {
+			if y%5 < 2 {
+				horiz.Set(x, y, 255, 255, 255)
+			}
+			if x%5 < 2 {
+				vert.Set(x, y, 255, 255, 255)
+			}
+		}
+	}
+	eh := ExtractEHD(horiz)
+	ev := ExtractEHD(vert)
+	// Horizontal stripes excite the horizontal-edge bins; vertical
+	// stripes the vertical ones.
+	var hH, hV, vH, vV float64
+	for cell := 0; cell < 16; cell++ {
+		hV += eh.Bins[cell*5+0]
+		hH += eh.Bins[cell*5+1]
+		vV += ev.Bins[cell*5+0]
+		vH += ev.Bins[cell*5+1]
+	}
+	if hH <= hV {
+		t.Errorf("horizontal stripes: H=%g V=%g", hH, hV)
+	}
+	if vV <= vH {
+		t.Errorf("vertical stripes: V=%g H=%g", vV, vH)
+	}
+	d, _ := eh.DistanceTo(ev)
+	if d < 0.5 {
+		t.Errorf("orientation-blind EHD: %g", d)
+	}
+}
+
+func TestEHDUniformImageEmpty(t *testing.T) {
+	im := imaging.New(64, 64)
+	im.Fill(128, 128, 128)
+	e := ExtractEHD(im)
+	for i, v := range e.Bins {
+		if v != 0 {
+			t.Fatalf("uniform image has edge votes at %d: %g", i, v)
+		}
+	}
+}
+
+func TestCLDDCMatchesMeanLuma(t *testing.T) {
+	im := imaging.New(32, 32)
+	im.Fill(200, 200, 200)
+	c := ExtractCLD(im)
+	// DC coefficient of an orthonormal 8×8 DCT of a constant block v is
+	// 8·(v-128).
+	want := 8 * (200.0 - 128.0)
+	if math.Abs(c.Y[0]-want) > 1.0 {
+		t.Errorf("Y DC = %g, want ~%g", c.Y[0], want)
+	}
+	// Constant grey has no chroma.
+	for i := 0; i < cldCLen; i++ {
+		if math.Abs(c.Cb[i]) > 1e-6 || math.Abs(c.Cr[i]) > 1e-6 {
+			t.Errorf("grey image has chroma: cb=%g cr=%g", c.Cb[i], c.Cr[i])
+		}
+	}
+	// All AC terms vanish for a constant image.
+	for i := 1; i < cldYLen; i++ {
+		if math.Abs(c.Y[i]) > 1e-6 {
+			t.Errorf("constant image AC Y[%d] = %g", i, c.Y[i])
+		}
+	}
+}
+
+func TestCLDLayoutSensitivity(t *testing.T) {
+	// Red-left/blue-right vs blue-left/red-right: same global histogram,
+	// different layout — CLD must tell them apart.
+	a := imaging.New(64, 64)
+	b := imaging.New(64, 64)
+	for y := 0; y < 64; y++ {
+		for x := 0; x < 64; x++ {
+			if x < 32 {
+				a.Set(x, y, 255, 0, 0)
+				b.Set(x, y, 0, 0, 255)
+			} else {
+				a.Set(x, y, 0, 0, 255)
+				b.Set(x, y, 255, 0, 0)
+			}
+		}
+	}
+	ca, cb := ExtractCLD(a), ExtractCLD(b)
+	d, err := ca.DistanceTo(cb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d < 10 {
+		t.Errorf("layout-blind CLD: %g", d)
+	}
+}
+
+func TestZigzagCoversAllCells(t *testing.T) {
+	seen := make(map[[2]int]bool)
+	for _, rc := range zigzag8 {
+		if rc[0] < 0 || rc[0] > 7 || rc[1] < 0 || rc[1] > 7 {
+			t.Fatalf("out of range %v", rc)
+		}
+		if seen[rc] {
+			t.Fatalf("duplicate %v", rc)
+		}
+		seen[rc] = true
+	}
+	if len(seen) != 64 {
+		t.Fatalf("covered %d cells", len(seen))
+	}
+	// First three entries are the canonical DC, (0,1), (1,0).
+	if zigzag8[0] != [2]int{0, 0} {
+		t.Errorf("zigzag[0] = %v", zigzag8[0])
+	}
+}
+
+func TestDCDFractionsSumToOne(t *testing.T) {
+	d := ExtractDCD(testFrame(5))
+	if len(d.Colors) == 0 || len(d.Colors) > dcdMaxColors {
+		t.Fatalf("palette size %d", len(d.Colors))
+	}
+	var sum float64
+	prev := 2.0
+	for _, c := range d.Colors {
+		if c.Fraction <= 0 || c.Fraction > 1 {
+			t.Fatalf("fraction %g", c.Fraction)
+		}
+		if c.Fraction > prev {
+			t.Error("palette not sorted by fraction")
+		}
+		prev = c.Fraction
+		sum += c.Fraction
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("fractions sum to %g", sum)
+	}
+}
+
+func TestDCDTwoToneImage(t *testing.T) {
+	im := imaging.New(64, 64)
+	for y := 0; y < 64; y++ {
+		for x := 0; x < 64; x++ {
+			if x < 16 { // quarter dark red, three quarters blue
+				im.Set(x, y, 200, 0, 0)
+			} else {
+				im.Set(x, y, 0, 0, 200)
+			}
+		}
+	}
+	d := ExtractDCD(im)
+	if len(d.Colors) != 2 {
+		t.Fatalf("palette: %+v", d.Colors)
+	}
+	// Dominant colour is blue with ~75% coverage.
+	if d.Colors[0].B < 150 || d.Colors[0].Fraction < 0.7 {
+		t.Errorf("dominant: %+v", d.Colors[0])
+	}
+	if d.Colors[1].R < 150 || d.Colors[1].Fraction > 0.3 {
+		t.Errorf("secondary: %+v", d.Colors[1])
+	}
+}
+
+func TestDCDDeterministic(t *testing.T) {
+	im := testFrame(6)
+	if ExtractDCD(im).String() != ExtractDCD(im).String() {
+		t.Error("DCD extraction not deterministic")
+	}
+}
+
+func TestRerankPrefersTrueMatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	query := testFrame(8)
+	near := query.Clone()
+	for i := 0; i < len(near.Pix)/100; i++ {
+		near.Pix[rng.Intn(len(near.Pix))] ^= 0x04
+	}
+	candidates := []*imaging.Image{testFrame(100), near, testFrame(101)}
+	exs := []Extractor{
+		func(im *imaging.Image) Descriptor { return ExtractEHD(im) },
+		func(im *imaging.Image) Descriptor { return ExtractCLD(im) },
+		func(im *imaging.Image) Descriptor { return ExtractDCD(im) },
+	}
+	ranked, err := Rerank(query, candidates, exs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranked) != 3 || ranked[0].Index != 1 {
+		t.Errorf("rerank order: %+v", ranked)
+	}
+	for i := 1; i < len(ranked); i++ {
+		if ranked[i].Distance < ranked[i-1].Distance {
+			t.Error("rerank not sorted")
+		}
+	}
+}
+
+func TestRerankEdgeCases(t *testing.T) {
+	if _, err := Rerank(testFrame(9), nil, []Extractor{func(im *imaging.Image) Descriptor { return ExtractEHD(im) }}); err != nil {
+		t.Errorf("empty candidates: %v", err)
+	}
+	if _, err := Rerank(testFrame(9), []*imaging.Image{testFrame(10)}, nil); err == nil {
+		t.Error("no extractors accepted")
+	}
+}
+
+func TestExtractorsRegistry(t *testing.T) {
+	exs := Extractors()
+	if len(exs) != 3 {
+		t.Fatalf("registry size %d", len(exs))
+	}
+	im := testFrame(11)
+	for name, ex := range exs {
+		d := ex(im)
+		if d.Name() != name {
+			t.Errorf("registry %s produced %s", name, d.Name())
+		}
+		if !strings.HasPrefix(d.String(), name) {
+			t.Errorf("%s serialisation prefix wrong", name)
+		}
+	}
+}

@@ -1,0 +1,235 @@
+package features
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+
+	"cbvr/internal/imaging"
+)
+
+// Gabor filter-bank geometry (§4.4). The paper's sample output is
+// "gabor 60 …": M×N×2 = 60 values for M scales and N orientations with a
+// mean and a deviation per filter.
+const (
+	GaborScales       = 5  // M
+	GaborOrientations = 6  // N
+	GaborVectorLen    = 60 // M*N*2
+	// gaborImageSize is the grayscale analysis raster side for filtering.
+	// The filter bank is O(W·H·M·N·K²); 64×64 keeps extraction fast while
+	// preserving the texture statistics the descriptor needs.
+	gaborImageSize = 64
+	// gaborMaxRadius caps kernel radius so coarse scales stay inside the
+	// 64×64 raster.
+	gaborMaxRadius = 8
+)
+
+// Gabor is the §4.4 texture descriptor: the 60-element feature vector in
+// the paper's layout.
+//
+// Faithful quirk: the paper (following the LIRE implementation it ports)
+// indexes the vector as featureVector[m*N + n*2] and [m*N + n*2 + 1]
+// instead of (m*N + n)*2. Adjacent filters therefore overwrite parts of
+// each other's slots and indices 36–59 remain zero — exactly as visible in
+// the paper's Fig. 8 sample output, whose tail is all "0.0". We reproduce
+// that layout by default; ExtractGaborCorrected provides the fixed layout
+// for the ablation bench.
+type Gabor struct {
+	Vec [GaborVectorLen]float64
+}
+
+// gaborKernel is one precomputed complex kernel.
+type gaborKernel struct {
+	radius int
+	re, im []float64 // (2r+1)² taps, row-major
+}
+
+var (
+	gaborBankOnce sync.Once
+	gaborBank     [GaborScales][GaborOrientations]gaborKernel
+)
+
+// buildGaborBank precomputes the spatial Gabor kernels: wavelength grows
+// geometrically with scale, orientations are evenly spaced over π.
+func buildGaborBank() {
+	const (
+		lambda0 = 2.0
+		ratio   = math.Sqrt2
+		gamma   = 0.75 // spatial aspect ratio
+	)
+	for m := 0; m < GaborScales; m++ {
+		lambda := lambda0 * math.Pow(ratio, float64(m))
+		sigma := 0.56 * lambda
+		radius := int(math.Ceil(2.5 * sigma))
+		if radius < 2 {
+			radius = 2
+		}
+		if radius > gaborMaxRadius {
+			radius = gaborMaxRadius
+		}
+		for n := 0; n < GaborOrientations; n++ {
+			theta := float64(n) * math.Pi / GaborOrientations
+			side := 2*radius + 1
+			k := gaborKernel{
+				radius: radius,
+				re:     make([]float64, side*side),
+				im:     make([]float64, side*side),
+			}
+			ct, st := math.Cos(theta), math.Sin(theta)
+			var sumRe float64
+			for dy := -radius; dy <= radius; dy++ {
+				for dx := -radius; dx <= radius; dx++ {
+					xr := float64(dx)*ct + float64(dy)*st
+					yr := -float64(dx)*st + float64(dy)*ct
+					env := math.Exp(-(xr*xr + gamma*gamma*yr*yr) / (2 * sigma * sigma))
+					phase := 2 * math.Pi * xr / lambda
+					i := (dy+radius)*side + dx + radius
+					k.re[i] = env * math.Cos(phase)
+					k.im[i] = env * math.Sin(phase)
+					sumRe += k.re[i]
+				}
+			}
+			// Zero the DC component of the real part so uniform regions
+			// produce zero response.
+			taps := float64(side * side)
+			for i := range k.re {
+				k.re[i] -= sumRe / taps
+			}
+			gaborBank[m][n] = k
+		}
+	}
+}
+
+// gaborStats returns the per-filter magnitude means and deviations
+// normalised by image size, as in the paper's pseudo-code (which divides
+// both the sum of magnitudes and sqrt(sum of squared deviations) by
+// imageSize).
+func gaborStats(im *imaging.Image) (means, devs [GaborScales][GaborOrientations]float64) {
+	gaborBankOnce.Do(buildGaborBank)
+	g := analysisImage(im).ToGray().Rescale(gaborImageSize, gaborImageSize)
+	w, h := g.W, g.H
+	pix := make([]float64, w*h)
+	for i, v := range g.Pix {
+		pix[i] = float64(v) / 255
+	}
+	imageSize := float64(w * h)
+	mags := make([]float64, w*h)
+	for m := 0; m < GaborScales; m++ {
+		for n := 0; n < GaborOrientations; n++ {
+			k := &gaborBank[m][n]
+			r := k.radius
+			side := 2*r + 1
+			var sum float64
+			count := 0
+			for y := r; y < h-r; y++ {
+				for x := r; x < w-r; x++ {
+					var re, imag float64
+					ti := 0
+					for dy := -r; dy <= r; dy++ {
+						base := (y+dy)*w + x - r
+						for dx := 0; dx < side; dx++ {
+							p := pix[base+dx]
+							re += p * k.re[ti]
+							imag += p * k.im[ti]
+							ti++
+						}
+					}
+					mag := math.Sqrt(re*re + imag*imag)
+					mags[count] = mag
+					sum += mag
+					count++
+				}
+			}
+			mean := sum / imageSize
+			var sq float64
+			for i := 0; i < count; i++ {
+				d := mags[i] - mean
+				sq += d * d
+			}
+			means[m][n] = mean
+			devs[m][n] = math.Sqrt(sq) / imageSize
+		}
+	}
+	return means, devs
+}
+
+// ExtractGabor computes the §4.4 descriptor with the paper's faithful
+// (buggy) vector layout.
+func ExtractGabor(im *imaging.Image) *Gabor {
+	means, devs := gaborStats(im)
+	out := &Gabor{}
+	for m := 0; m < GaborScales; m++ {
+		for n := 0; n < GaborOrientations; n++ {
+			// Faithful indexing bug: m*N + n*2 (not (m*N+n)*2).
+			out.Vec[m*GaborOrientations+n*2] = means[m][n]
+			out.Vec[m*GaborOrientations+n*2+1] = devs[m][n]
+		}
+	}
+	return out
+}
+
+// ExtractGaborCorrected computes the same statistics with the corrected
+// (m*N+n)*2 layout, used by the ablation bench to quantify what the
+// indexing bug costs.
+func ExtractGaborCorrected(im *imaging.Image) *Gabor {
+	means, devs := gaborStats(im)
+	out := &Gabor{}
+	for m := 0; m < GaborScales; m++ {
+		for n := 0; n < GaborOrientations; n++ {
+			out.Vec[(m*GaborOrientations+n)*2] = means[m][n]
+			out.Vec[(m*GaborOrientations+n)*2+1] = devs[m][n]
+		}
+	}
+	return out
+}
+
+// Kind implements Descriptor.
+func (g *Gabor) Kind() Kind { return KindGabor }
+
+// String renders the paper's format: "gabor 60 <v0> <v1> …".
+func (g *Gabor) String() string {
+	var sb strings.Builder
+	sb.Grow(GaborVectorLen * 20)
+	sb.WriteString("gabor 60")
+	for _, v := range g.Vec {
+		sb.WriteByte(' ')
+		sb.WriteString(formatFloat(v))
+	}
+	return sb.String()
+}
+
+// ParseGabor reconstructs a Gabor descriptor from its String form.
+func ParseGabor(s string) (*Gabor, error) {
+	fields, err := fieldsAfterPrefix(s, "gabor")
+	if err != nil {
+		return nil, err
+	}
+	if len(fields) != GaborVectorLen+1 {
+		return nil, fmt.Errorf("features: gabor wants %d fields, got %d", GaborVectorLen+1, len(fields))
+	}
+	if fields[0] != "60" {
+		return nil, fmt.Errorf("features: gabor length field %q", fields[0])
+	}
+	vs, err := parseFloats(fields[1:])
+	if err != nil {
+		return nil, err
+	}
+	out := &Gabor{}
+	copy(out.Vec[:], vs)
+	return out, nil
+}
+
+// DistanceTo returns the L2 distance between the 60-element vectors.
+func (g *Gabor) DistanceTo(other Descriptor) (float64, error) {
+	o, ok := other.(*Gabor)
+	if !ok {
+		return 0, kindMismatch(KindGabor, other)
+	}
+	var sum float64
+	for i := range g.Vec {
+		d := g.Vec[i] - o.Vec[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum), nil
+}

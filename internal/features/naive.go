@@ -1,0 +1,144 @@
+package features
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"cbvr/internal/imaging"
+)
+
+// Superficial (naive) signature geometry (§4.6): 25 representative
+// locations on a 5×5 grid over the image rescaled to 300×300; each
+// location's value is the mean colour of the surrounding window.
+const (
+	NaivePoints = 25
+	naiveGrid   = 5
+	// naiveBaseSize is the rescale target ("float scaleW = 300").
+	naiveBaseSize = 300
+	// naiveSampleSize is the window half-side ("sampleSize = 15").
+	naiveSampleSize = 15
+)
+
+// NaiveSignature is the §4.6 descriptor: 25 mean RGB samples. Its distance
+// is the quantity the key-frame extractor (§4.1) thresholds at 800.
+type NaiveSignature struct {
+	Sig [NaivePoints][3]uint8
+}
+
+// ExtractNaive computes the §4.6 signature of a frame.
+func ExtractNaive(im *imaging.Image) *NaiveSignature {
+	scaled := im.Rescale(naiveBaseSize, naiveBaseSize)
+	out := &NaiveSignature{}
+	i := 0
+	for gy := 0; gy < naiveGrid; gy++ {
+		py := 0.1 + 0.2*float64(gy)
+		for gx := 0; gx < naiveGrid; gx++ {
+			px := 0.1 + 0.2*float64(gx)
+			r, g, b := averageAround(scaled, px, py)
+			out.Sig[i] = [3]uint8{r, g, b}
+			i++
+		}
+	}
+	return out
+}
+
+// averageAround mirrors the paper's averageAround: mean RGB over the
+// square window of half-side sampleSize centred at (px, py) in normalised
+// coordinates.
+func averageAround(im *imaging.Image, px, py float64) (uint8, uint8, uint8) {
+	var accum [3]int
+	numPixels := 0
+	cx := px * naiveBaseSize
+	cy := py * naiveBaseSize
+	for y := int(cy) - naiveSampleSize; y < int(cy)+naiveSampleSize; y++ {
+		if y < 0 || y >= im.H {
+			continue
+		}
+		for x := int(cx) - naiveSampleSize; x < int(cx)+naiveSampleSize; x++ {
+			if x < 0 || x >= im.W {
+				continue
+			}
+			r, g, b := im.At(x, y)
+			accum[0] += int(r)
+			accum[1] += int(g)
+			accum[2] += int(b)
+			numPixels++
+		}
+	}
+	if numPixels == 0 {
+		return 0, 0, 0
+	}
+	return uint8(accum[0] / numPixels), uint8(accum[1] / numPixels), uint8(accum[2] / numPixels)
+}
+
+// Kind implements Descriptor.
+func (n *NaiveSignature) Kind() Kind { return KindNaive }
+
+// String renders the paper's exact format, including the Java Color
+// rendering visible in Fig. 8:
+// "NaiveVector java.awt.Color[r=0,g=0,b=0] …".
+func (n *NaiveSignature) String() string {
+	var sb strings.Builder
+	sb.Grow(NaivePoints * 32)
+	sb.WriteString("NaiveVector")
+	for _, c := range n.Sig {
+		fmt.Fprintf(&sb, " java.awt.Color[r=%d,g=%d,b=%d]", c[0], c[1], c[2])
+	}
+	return sb.String()
+}
+
+// ParseNaive reconstructs a signature from its String form.
+func ParseNaive(s string) (*NaiveSignature, error) {
+	fields, err := fieldsAfterPrefix(s, "NaiveVector")
+	if err != nil {
+		return nil, err
+	}
+	if len(fields) != NaivePoints {
+		return nil, fmt.Errorf("features: naive wants %d colours, got %d", NaivePoints, len(fields))
+	}
+	out := &NaiveSignature{}
+	for i, f := range fields {
+		const pre = "java.awt.Color["
+		if !strings.HasPrefix(f, pre) || !strings.HasSuffix(f, "]") {
+			return nil, fmt.Errorf("features: naive colour %d malformed: %q", i, f)
+		}
+		body := f[len(pre) : len(f)-1]
+		parts := strings.Split(body, ",")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("features: naive colour %d malformed: %q", i, f)
+		}
+		for j, name := range [3]string{"r=", "g=", "b="} {
+			if !strings.HasPrefix(parts[j], name) {
+				return nil, fmt.Errorf("features: naive colour %d malformed: %q", i, f)
+			}
+			v, err := strconv.Atoi(parts[j][2:])
+			if err != nil || v < 0 || v > 255 {
+				return nil, fmt.Errorf("features: naive colour %d channel %q", i, parts[j])
+			}
+			out.Sig[i][j] = uint8(v)
+		}
+	}
+	return out, nil
+}
+
+// DistanceTo returns the sum over the 25 sample points of the Euclidean
+// RGB distance — the §4.1 key-frame criterion compares this sum against
+// the threshold 800.
+func (n *NaiveSignature) DistanceTo(other Descriptor) (float64, error) {
+	o, ok := other.(*NaiveSignature)
+	if !ok {
+		return 0, kindMismatch(KindNaive, other)
+	}
+	var sum float64
+	for i := range n.Sig {
+		var sq float64
+		for c := 0; c < 3; c++ {
+			d := float64(n.Sig[i][c]) - float64(o.Sig[i][c])
+			sq += d * d
+		}
+		sum += math.Sqrt(sq)
+	}
+	return sum, nil
+}

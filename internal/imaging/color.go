@@ -1,0 +1,134 @@
+package imaging
+
+// Luma weights used throughout the paper's pseudo-code. The paper's band
+// combine matrix is {0.114, 0.587, 0.299} in B,G,R order, i.e. the standard
+// ITU-R BT.601 luma transform.
+const (
+	lumaR = 0.299
+	lumaG = 0.587
+	lumaB = 0.114
+)
+
+// GrayValue returns the BT.601 luma of an RGB pixel, rounded to the nearest
+// integer in [0,255].
+func GrayValue(r, g, b uint8) uint8 {
+	v := lumaR*float64(r) + lumaG*float64(g) + lumaB*float64(b)
+	iv := int(v + 0.5)
+	if iv > 255 {
+		iv = 255
+	}
+	return uint8(iv)
+}
+
+// ToGray converts the RGB raster to grayscale using the paper's band
+// combine weights (0.299, 0.587, 0.114).
+func (im *Image) ToGray() *Gray {
+	out := NewGray(im.W, im.H)
+	si := 0
+	for i := range out.Pix {
+		out.Pix[i] = GrayValue(im.Pix[si], im.Pix[si+1], im.Pix[si+2])
+		si += 3
+	}
+	return out
+}
+
+// ToImage converts a grayscale raster back to RGB with equal channels.
+func (g *Gray) ToImage() *Image {
+	out := New(g.W, g.H)
+	di := 0
+	for _, v := range g.Pix {
+		out.Pix[di], out.Pix[di+1], out.Pix[di+2] = v, v, v
+		di += 3
+	}
+	return out
+}
+
+// RGBToHSV converts an RGB pixel to HSV with h in [0,360), s in [0,1] and
+// v in [0,1]. This mirrors java.awt.Color.RGBtoHSB scaled to degrees, which
+// is what the paper's auto-correlogram quantiser uses.
+func RGBToHSV(r, g, b uint8) (h, s, v float64) {
+	rf, gf, bf := float64(r)/255, float64(g)/255, float64(b)/255
+	max := rf
+	if gf > max {
+		max = gf
+	}
+	if bf > max {
+		max = bf
+	}
+	min := rf
+	if gf < min {
+		min = gf
+	}
+	if bf < min {
+		min = bf
+	}
+	v = max
+	d := max - min
+	if max > 0 {
+		s = d / max
+	}
+	if d == 0 {
+		return 0, s, v
+	}
+	switch max {
+	case rf:
+		h = 60 * ((gf - bf) / d)
+		if h < 0 {
+			h += 360
+		}
+	case gf:
+		h = 60*((bf-rf)/d) + 120
+	default:
+		h = 60*((rf-gf)/d) + 240
+	}
+	if h >= 360 {
+		h -= 360
+	}
+	return h, s, v
+}
+
+// HSVToRGB converts an HSV triple (h in [0,360), s,v in [0,1]) to RGB.
+func HSVToRGB(h, s, v float64) (r, g, b uint8) {
+	if s <= 0 {
+		c := clamp255(v * 255)
+		return c, c, c
+	}
+	for h < 0 {
+		h += 360
+	}
+	for h >= 360 {
+		h -= 360
+	}
+	sector := int(h / 60)
+	f := h/60 - float64(sector)
+	p := v * (1 - s)
+	q := v * (1 - s*f)
+	t := v * (1 - s*(1-f))
+	var rf, gf, bf float64
+	switch sector {
+	case 0:
+		rf, gf, bf = v, t, p
+	case 1:
+		rf, gf, bf = q, v, p
+	case 2:
+		rf, gf, bf = p, v, t
+	case 3:
+		rf, gf, bf = p, q, v
+	case 4:
+		rf, gf, bf = t, p, v
+	default:
+		rf, gf, bf = v, p, q
+	}
+	return clamp255(rf * 255), clamp255(gf * 255), clamp255(bf * 255)
+}
+
+func clamp255(v float64) uint8 {
+	iv := int(v + 0.5)
+	if iv < 0 {
+		return 0
+	}
+	if iv > 255 {
+		return 255
+	}
+	return uint8(iv)
+}

@@ -1,0 +1,80 @@
+package imaging
+
+// The paper's §4.8 preprocessing uses a 5×5 kernel whose active part is the
+// central 3×3 block of ones:
+//
+//	0 0 0 0 0
+//	0 1 1 1 0
+//	0 1 1 1 0
+//	0 1 1 1 0
+//	0 0 0 0 0
+//
+// Kernel represents such a binary structuring element by its active offsets.
+type Kernel struct {
+	// Offsets holds (dx, dy) pairs of active kernel cells relative to the
+	// anchor pixel.
+	Offsets [][2]int
+}
+
+// PaperKernel returns the structuring element from §4.8 (a 3×3 box embedded
+// in a 5×5 matrix — equivalent to a plain 3×3 box around the anchor).
+func PaperKernel() Kernel {
+	k := Kernel{}
+	for dy := -1; dy <= 1; dy++ {
+		for dx := -1; dx <= 1; dx++ {
+			k.Offsets = append(k.Offsets, [2]int{dx, dy})
+		}
+	}
+	return k
+}
+
+// Dilate performs grayscale dilation (max filter) over the kernel support.
+// Pixels outside the image are ignored.
+func (g *Gray) Dilate(k Kernel) *Gray {
+	out := NewGray(g.W, g.H)
+	for y := 0; y < g.H; y++ {
+		for x := 0; x < g.W; x++ {
+			var best uint8
+			for _, off := range k.Offsets {
+				nx, ny := x+off[0], y+off[1]
+				if !g.In(nx, ny) {
+					continue
+				}
+				if v := g.Pix[ny*g.W+nx]; v > best {
+					best = v
+				}
+			}
+			out.Pix[y*g.W+x] = best
+		}
+	}
+	return out
+}
+
+// Erode performs grayscale erosion (min filter) over the kernel support.
+// Pixels outside the image are ignored.
+func (g *Gray) Erode(k Kernel) *Gray {
+	out := NewGray(g.W, g.H)
+	for y := 0; y < g.H; y++ {
+		for x := 0; x < g.W; x++ {
+			best := uint8(255)
+			for _, off := range k.Offsets {
+				nx, ny := x+off[0], y+off[1]
+				if !g.In(nx, ny) {
+					continue
+				}
+				if v := g.Pix[ny*g.W+nx]; v < best {
+					best = v
+				}
+			}
+			out.Pix[y*g.W+x] = best
+		}
+	}
+	return out
+}
+
+// CloseOpen applies the paper's §4.8 smoothing sequence: dilate, erode,
+// erode, dilate (a morphological close followed by an open) with the given
+// kernel.
+func (g *Gray) CloseOpen(k Kernel) *Gray {
+	return g.Dilate(k).Erode(k).Erode(k).Dilate(k)
+}

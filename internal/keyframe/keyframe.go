@@ -1,0 +1,118 @@
+// Package keyframe implements the paper's §4.1 key-frame extraction: walk
+// the frame sequence in order, collapse every run of consecutive frames
+// whose superficial-signature distance to the run's first frame stays
+// within a threshold, and keep that first frame as the run's key frame.
+//
+// The paper's threshold is 800.0 over the §4.6 naive-signature distance
+// (sum of 25 per-point Euclidean RGB distances).
+package keyframe
+
+import (
+	"fmt"
+	"io"
+
+	"cbvr/internal/features"
+	"cbvr/internal/imaging"
+)
+
+// DefaultThreshold is the paper's similarity cut-off ("if(dist > 800.0)").
+const DefaultThreshold = 800.0
+
+// FrameReader yields successive frames; it is satisfied by *cvj.Reader.
+// Next returns io.EOF after the final frame.
+type FrameReader interface {
+	Next() (*imaging.Image, error)
+}
+
+// Extractor selects key frames. The zero value uses DefaultThreshold.
+type Extractor struct {
+	// Threshold is the maximum naive-signature distance for two frames to
+	// be considered "similar" (and thus collapsed). Values <= 0 select
+	// DefaultThreshold.
+	Threshold float64
+}
+
+func (e Extractor) threshold() float64 {
+	if e.Threshold <= 0 {
+		return DefaultThreshold
+	}
+	return e.Threshold
+}
+
+// KeyFrame is one selected representative frame.
+type KeyFrame struct {
+	// Index is the frame's position in the source video (0-based).
+	Index int
+	// Image is the frame itself.
+	Image *imaging.Image
+	// Signature is the frame's naive signature (computed during
+	// selection, retained so callers don't recompute it).
+	Signature *features.NaiveSignature
+	// RunLength is the number of consecutive source frames this key frame
+	// represents (itself included).
+	RunLength int
+}
+
+// Extract selects key frames from an in-memory frame slice.
+func (e Extractor) Extract(frames []*imaging.Image) ([]KeyFrame, error) {
+	return e.ExtractReader(&sliceReader{frames: frames})
+}
+
+// ExtractReader selects key frames from a streaming frame source, holding
+// only the current key frame in memory. This is the §4.1 algorithm: the
+// first frame of each run is kept; following frames within the threshold
+// are "deleted"; the first frame beyond the threshold starts the next run.
+func (e Extractor) ExtractReader(r FrameReader) ([]KeyFrame, error) {
+	thr := e.threshold()
+	var out []KeyFrame
+	idx := -1
+	for {
+		im, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("keyframe: read frame %d: %w", idx+1, err)
+		}
+		idx++
+		sig := features.ExtractNaive(im)
+		if len(out) > 0 {
+			cur := &out[len(out)-1]
+			dist, derr := cur.Signature.DistanceTo(sig)
+			if derr != nil {
+				return nil, derr
+			}
+			if dist <= thr {
+				// Similar to the current key frame: collapse.
+				cur.RunLength++
+				continue
+			}
+		}
+		out = append(out, KeyFrame{Index: idx, Image: im, Signature: sig, RunLength: 1})
+	}
+	return out, nil
+}
+
+// sliceReader adapts a frame slice to FrameReader.
+type sliceReader struct {
+	frames []*imaging.Image
+	pos    int
+}
+
+func (s *sliceReader) Next() (*imaging.Image, error) {
+	if s.pos >= len(s.frames) {
+		return nil, io.EOF
+	}
+	im := s.frames[s.pos]
+	s.pos++
+	return im, nil
+}
+
+// Indices returns just the source positions of the key frames.
+func Indices(kfs []KeyFrame) []int {
+	out := make([]int, len(kfs))
+	for i, k := range kfs {
+		out[i] = k.Index
+	}
+	return out
+}

@@ -1,0 +1,155 @@
+package keyframe
+
+import (
+	"errors"
+	"io"
+	"testing"
+
+	"cbvr/internal/imaging"
+	"cbvr/internal/synthvid"
+)
+
+func solidFrame(r, g, b uint8) *imaging.Image {
+	im := imaging.New(40, 30)
+	im.Fill(r, g, b)
+	return im
+}
+
+func TestCollapsesIdenticalFrames(t *testing.T) {
+	frames := []*imaging.Image{
+		solidFrame(10, 10, 10),
+		solidFrame(10, 10, 10),
+		solidFrame(10, 10, 10),
+	}
+	kfs, err := Extractor{}.Extract(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kfs) != 1 {
+		t.Fatalf("key frames = %d, want 1", len(kfs))
+	}
+	if kfs[0].Index != 0 || kfs[0].RunLength != 3 {
+		t.Errorf("key frame %+v", kfs[0])
+	}
+}
+
+func TestSplitsOnSceneChange(t *testing.T) {
+	frames := []*imaging.Image{
+		solidFrame(0, 0, 0),
+		solidFrame(0, 0, 0),
+		solidFrame(255, 255, 255), // hard cut
+		solidFrame(255, 255, 255),
+	}
+	kfs, err := Extractor{}.Extract(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kfs) != 2 {
+		t.Fatalf("key frames = %d, want 2", len(kfs))
+	}
+	if kfs[0].Index != 0 || kfs[1].Index != 2 {
+		t.Errorf("indices %d, %d", kfs[0].Index, kfs[1].Index)
+	}
+	if kfs[0].RunLength != 2 || kfs[1].RunLength != 2 {
+		t.Errorf("run lengths %d, %d", kfs[0].RunLength, kfs[1].RunLength)
+	}
+}
+
+func TestThresholdMonotonicity(t *testing.T) {
+	// A higher threshold can only produce fewer or equal key frames.
+	v := synthvid.Generate(synthvid.Sports, synthvid.Config{Frames: 30, Shots: 4, Seed: 5})
+	var prev int
+	for i, thr := range []float64{100, 400, DefaultThreshold, 3000, 20000} {
+		kfs, err := Extractor{Threshold: thr}.Extract(v.Frames)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && len(kfs) > prev {
+			t.Errorf("threshold %g produced more key frames (%d) than a lower one (%d)", thr, len(kfs), prev)
+		}
+		prev = len(kfs)
+	}
+}
+
+func TestRunLengthsSumToFrameCount(t *testing.T) {
+	v := synthvid.Generate(synthvid.Movie, synthvid.Config{Frames: 25, Shots: 3, Seed: 6})
+	kfs, err := Extractor{}.Extract(v.Frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0
+	for _, k := range kfs {
+		sum += k.RunLength
+	}
+	if sum != len(v.Frames) {
+		t.Errorf("run lengths sum %d, want %d", sum, len(v.Frames))
+	}
+	// Indices strictly increasing and first is 0.
+	if kfs[0].Index != 0 {
+		t.Error("first key frame is not frame 0")
+	}
+	for i := 1; i < len(kfs); i++ {
+		if kfs[i].Index <= kfs[i-1].Index {
+			t.Error("key frame indices not increasing")
+		}
+	}
+}
+
+func TestShotCutsProduceKeyFrames(t *testing.T) {
+	// With multiple distinct shots, expect more than one key frame at the
+	// paper threshold.
+	v := synthvid.Generate(synthvid.Cartoon, synthvid.Config{Frames: 40, Shots: 5, Seed: 7})
+	kfs, err := Extractor{}.Extract(v.Frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kfs) < 2 {
+		t.Errorf("only %d key frames across 5 shots", len(kfs))
+	}
+	if len(kfs) == len(v.Frames) {
+		t.Errorf("no compression: every frame kept")
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	kfs, err := Extractor{}.Extract(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kfs) != 0 {
+		t.Errorf("key frames from empty input: %d", len(kfs))
+	}
+}
+
+type failingReader struct{ n int }
+
+func (f *failingReader) Next() (*imaging.Image, error) {
+	if f.n == 0 {
+		f.n++
+		return solidFrame(1, 2, 3), nil
+	}
+	return nil, errors.New("disk on fire")
+}
+
+func TestReaderErrorPropagates(t *testing.T) {
+	_, err := Extractor{}.ExtractReader(&failingReader{})
+	if err == nil || errors.Is(err, io.EOF) {
+		t.Errorf("want propagation, got %v", err)
+	}
+}
+
+func TestIndicesHelper(t *testing.T) {
+	frames := []*imaging.Image{solidFrame(0, 0, 0), solidFrame(255, 255, 255)}
+	kfs, _ := Extractor{}.Extract(frames)
+	idx := Indices(kfs)
+	if len(idx) != 2 || idx[0] != 0 || idx[1] != 1 {
+		t.Errorf("indices %v", idx)
+	}
+}
+
+func TestSignatureRetained(t *testing.T) {
+	kfs, _ := Extractor{}.Extract([]*imaging.Image{solidFrame(9, 9, 9)})
+	if kfs[0].Signature == nil {
+		t.Error("signature not retained")
+	}
+}

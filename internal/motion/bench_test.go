@@ -1,0 +1,39 @@
+package motion
+
+import (
+	"testing"
+
+	"cbvr/internal/synthvid"
+)
+
+func BenchmarkEstimateField(b *testing.B) {
+	v := synthvid.Generate(synthvid.Sports, synthvid.Config{Frames: 2, Shots: 1, Seed: 1})
+	prev := v.Frames[0].Rescale(analysisSize, analysisSize).ToGray()
+	cur := v.Frames[1].Rescale(analysisSize, analysisSize).ToGray()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EstimateField(prev, cur, 0, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtractActivity12Frames(b *testing.B) {
+	v := synthvid.Generate(synthvid.Sports, synthvid.Config{Frames: 12, Shots: 1, Seed: 2})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ExtractActivity(v.Frames, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkActivityDistance(b *testing.B) {
+	cfg := synthvid.Config{Frames: 8, Shots: 1, Seed: 3}
+	a1, _ := ExtractActivity(synthvid.Generate(synthvid.Sports, cfg).Frames, 1)
+	a2, _ := ExtractActivity(synthvid.Generate(synthvid.News, cfg).Frames, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a1.DistanceTo(a2)
+	}
+}

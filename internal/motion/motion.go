@@ -1,0 +1,281 @@
+// Package motion implements block-matching motion estimation and an
+// MPEG-7-style motion-activity descriptor. The paper's introduction names
+// motion among the canonical visual features ("Color, texture, shape,
+// motion and spatial-temporal composition are the most common visual
+// features used in visual similarity match") and cites motion-statistics
+// retrieval as related work; this package supplies that temporal
+// dimension: per-frame-pair motion fields via three-step search, folded
+// into a per-clip activity signature comparable across videos.
+package motion
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"cbvr/internal/imaging"
+)
+
+// Block-matching parameters.
+const (
+	// DefaultBlockSize is the side of a matching block.
+	DefaultBlockSize = 8
+	// DefaultSearchRadius is the maximum displacement considered (per
+	// axis) by the three-step search.
+	DefaultSearchRadius = 7
+	// analysisSize is the grayscale raster side for estimation: motion
+	// statistics are resolution-relative, so a fixed raster keeps
+	// descriptors comparable.
+	analysisSize = 128
+	// DirBins is the direction-histogram resolution of Activity.
+	DirBins = 8
+)
+
+// Field is a per-block motion vector field between two frames.
+type Field struct {
+	BW, BH int // blocks per row / column
+	DX, DY []int8
+}
+
+// VectorAt returns the motion vector of block (bx, by).
+func (f *Field) VectorAt(bx, by int) (dx, dy int) {
+	i := by*f.BW + bx
+	return int(f.DX[i]), int(f.DY[i])
+}
+
+// sad computes the sum of absolute differences between the anchored block
+// at (x, y) in anchor and the displaced block at (x+dx, y+dy) in target,
+// or MaxInt if the displaced block leaves the frame.
+func sad(anchor, target *imaging.Gray, x, y, dx, dy, bs int) int {
+	tx, ty := x+dx, y+dy
+	if tx < 0 || ty < 0 || tx+bs > target.W || ty+bs > target.H {
+		return math.MaxInt
+	}
+	total := 0
+	for r := 0; r < bs; r++ {
+		ao := (y+r)*anchor.W + x
+		to := (ty+r)*target.W + tx
+		for c := 0; c < bs; c++ {
+			d := int(anchor.Pix[ao+c]) - int(target.Pix[to+c])
+			if d < 0 {
+				d = -d
+			}
+			total += d
+		}
+	}
+	return total
+}
+
+// zeroBiasPerPixel is the SAD penalty (grey levels per pixel) a non-zero
+// candidate must beat in addition to the zero vector's cost. It keeps
+// sensor noise in flat regions from reading as motion while real motion
+// (which reduces SAD by far more) is unaffected.
+const zeroBiasPerPixel = 2
+
+// EstimateField computes forward block motion from prev to cur using
+// biased three-step search: each block of prev is tracked to its best
+// match in cur, so a vector points where the content moved. Both frames
+// must share dimensions; blockSize/searchRadius <= 0 select the defaults.
+func EstimateField(prev, cur *imaging.Gray, blockSize, searchRadius int) (*Field, error) {
+	if prev.W != cur.W || prev.H != cur.H {
+		return nil, fmt.Errorf("motion: frame sizes differ (%dx%d vs %dx%d)", prev.W, prev.H, cur.W, cur.H)
+	}
+	if blockSize <= 0 {
+		blockSize = DefaultBlockSize
+	}
+	if searchRadius <= 0 {
+		searchRadius = DefaultSearchRadius
+	}
+	bw := cur.W / blockSize
+	bh := cur.H / blockSize
+	if bw == 0 || bh == 0 {
+		return nil, fmt.Errorf("motion: frame smaller than one %d-pixel block", blockSize)
+	}
+	penalty := zeroBiasPerPixel * blockSize * blockSize
+	f := &Field{BW: bw, BH: bh, DX: make([]int8, bw*bh), DY: make([]int8, bw*bh)}
+	for by := 0; by < bh; by++ {
+		for bx := 0; bx < bw; bx++ {
+			x, y := bx*blockSize, by*blockSize
+			bestDX, bestDY := 0, 0
+			// Non-zero candidates carry the zero-bias penalty, so the
+			// zero vector's effective cost is its raw SAD.
+			bestCost := sad(prev, cur, x, y, 0, 0, blockSize)
+			step := (searchRadius + 1) / 2
+			for step >= 1 {
+				improved := true
+				for improved {
+					improved = false
+					for _, d := range [8][2]int{{-1, -1}, {0, -1}, {1, -1}, {-1, 0}, {1, 0}, {-1, 1}, {0, 1}, {1, 1}} {
+						dx := bestDX + d[0]*step
+						dy := bestDY + d[1]*step
+						if dx < -searchRadius || dx > searchRadius || dy < -searchRadius || dy > searchRadius {
+							continue
+						}
+						c := sad(prev, cur, x, y, dx, dy, blockSize)
+						if c == math.MaxInt {
+							continue
+						}
+						if dx != 0 || dy != 0 {
+							c += penalty
+						}
+						if c < bestCost {
+							bestCost, bestDX, bestDY = c, dx, dy
+							improved = true
+						}
+					}
+				}
+				step /= 2
+			}
+			i := by*bw + bx
+			f.DX[i] = int8(bestDX)
+			f.DY[i] = int8(bestDY)
+		}
+	}
+	return f, nil
+}
+
+// Stats summarises one field: mean magnitude, magnitude deviation, zero
+// fraction and direction histogram mass.
+func (f *Field) Stats() (mean, std, zeroFrac float64, dir [DirBins]float64) {
+	n := float64(len(f.DX))
+	if n == 0 {
+		return 0, 0, 1, dir
+	}
+	mags := make([]float64, len(f.DX))
+	zero := 0.0
+	var sum float64
+	for i := range f.DX {
+		dx, dy := float64(f.DX[i]), float64(f.DY[i])
+		m := math.Hypot(dx, dy)
+		mags[i] = m
+		sum += m
+		if m == 0 {
+			zero++
+			continue
+		}
+		theta := math.Atan2(dy, dx) // [-π, π]
+		bin := int((theta + math.Pi) / (2 * math.Pi) * DirBins)
+		if bin >= DirBins {
+			bin = DirBins - 1
+		}
+		dir[bin] += m
+	}
+	mean = sum / n
+	var sq float64
+	for _, m := range mags {
+		d := m - mean
+		sq += d * d
+	}
+	std = math.Sqrt(sq / n)
+	return mean, std, zero / n, dir
+}
+
+// Activity is the clip-level motion signature: magnitude statistics and a
+// motion-weighted direction distribution aggregated over frame pairs.
+type Activity struct {
+	Mean     float64          // mean vector magnitude (pixels/frame at 128×128)
+	Std      float64          // magnitude standard deviation
+	ZeroFrac float64          // fraction of still blocks
+	Dir      [DirBins]float64 // normalised direction distribution
+}
+
+// ExtractActivity estimates motion over consecutive frame pairs
+// (subsampled by stride for long clips; stride <= 0 means every pair) and
+// aggregates the field statistics into one Activity. A clip with fewer
+// than two frames yields the zero-motion signature.
+func ExtractActivity(frames []*imaging.Image, stride int) (*Activity, error) {
+	if stride <= 0 {
+		stride = 1
+	}
+	out := &Activity{ZeroFrac: 1}
+	if len(frames) < 2 {
+		return out, nil
+	}
+	var grays []*imaging.Gray
+	for i := 0; i < len(frames); i += stride {
+		grays = append(grays, frames[i].Rescale(analysisSize, analysisSize).ToGray())
+	}
+	if len(grays) < 2 {
+		grays = append(grays, frames[len(frames)-1].Rescale(analysisSize, analysisSize).ToGray())
+	}
+	pairs := 0.0
+	var meanSum, stdSum, zeroSum float64
+	var dirSum [DirBins]float64
+	for i := 1; i < len(grays); i++ {
+		f, err := EstimateField(grays[i-1], grays[i], 0, 0)
+		if err != nil {
+			return nil, err
+		}
+		mean, std, zero, dir := f.Stats()
+		meanSum += mean
+		stdSum += std
+		zeroSum += zero
+		for b := 0; b < DirBins; b++ {
+			dirSum[b] += dir[b]
+		}
+		pairs++
+	}
+	out.Mean = meanSum / pairs
+	out.Std = stdSum / pairs
+	out.ZeroFrac = zeroSum / pairs
+	var total float64
+	for _, v := range dirSum {
+		total += v
+	}
+	if total > 0 {
+		for b := 0; b < DirBins; b++ {
+			out.Dir[b] = dirSum[b] / total
+		}
+	}
+	return out, nil
+}
+
+// String renders "Motion <mean> <std> <zeroFrac> <dir0..dir7>".
+func (a *Activity) String() string {
+	var sb strings.Builder
+	sb.WriteString("Motion ")
+	sb.WriteString(strconv.FormatFloat(a.Mean, 'g', -1, 64))
+	sb.WriteByte(' ')
+	sb.WriteString(strconv.FormatFloat(a.Std, 'g', -1, 64))
+	sb.WriteByte(' ')
+	sb.WriteString(strconv.FormatFloat(a.ZeroFrac, 'g', -1, 64))
+	for _, v := range a.Dir {
+		sb.WriteByte(' ')
+		sb.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+	}
+	return sb.String()
+}
+
+// ParseActivity reconstructs an Activity from its String form.
+func ParseActivity(s string) (*Activity, error) {
+	fields := strings.Fields(s)
+	if len(fields) != 4+DirBins || fields[0] != "Motion" {
+		return nil, fmt.Errorf("motion: malformed activity (%d fields)", len(fields))
+	}
+	vals := make([]float64, 0, 3+DirBins)
+	for i, f := range fields[1:] {
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			return nil, fmt.Errorf("motion: field %d: %w", i, err)
+		}
+		vals = append(vals, v)
+	}
+	out := &Activity{Mean: vals[0], Std: vals[1], ZeroFrac: vals[2]}
+	copy(out.Dir[:], vals[3:])
+	return out, nil
+}
+
+// DistanceTo compares activity signatures: scaled magnitude terms plus L1
+// over the direction distributions.
+func (a *Activity) DistanceTo(o *Activity) float64 {
+	const magScale = float64(DefaultSearchRadius)
+	d := math.Abs(a.Mean-o.Mean)/magScale +
+		math.Abs(a.Std-o.Std)/magScale +
+		math.Abs(a.ZeroFrac-o.ZeroFrac)
+	var dl1 float64
+	for b := 0; b < DirBins; b++ {
+		dl1 += math.Abs(a.Dir[b] - o.Dir[b])
+	}
+	return d + dl1/2
+}

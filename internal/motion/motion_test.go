@@ -1,0 +1,212 @@
+package motion
+
+import (
+	"math"
+	"testing"
+
+	"cbvr/internal/imaging"
+	"cbvr/internal/synthvid"
+)
+
+// shiftedPair builds two frames where the second is the first translated
+// by (dx, dy), with replicated borders.
+func shiftedPair(dx, dy int) (*imaging.Gray, *imaging.Gray) {
+	prev := imaging.NewGray(64, 64)
+	// Smooth textured content (three-step search assumes a locally
+	// unimodal SAD landscape, which real video provides).
+	for y := 0; y < 64; y++ {
+		for x := 0; x < 64; x++ {
+			v := 128 + 60*math.Sin(float64(x)/4.5) + 55*math.Cos(float64(y)/6.5) +
+				25*math.Sin(float64(x+y)/9.0)
+			if v < 0 {
+				v = 0
+			} else if v > 255 {
+				v = 255
+			}
+			prev.Set(x, y, uint8(v))
+		}
+	}
+	cur := imaging.NewGray(64, 64)
+	for y := 0; y < 64; y++ {
+		for x := 0; x < 64; x++ {
+			sx, sy := x-dx, y-dy
+			if sx < 0 {
+				sx = 0
+			} else if sx >= 64 {
+				sx = 63
+			}
+			if sy < 0 {
+				sy = 0
+			} else if sy >= 64 {
+				sy = 63
+			}
+			cur.Set(x, y, prev.At(sx, sy))
+		}
+	}
+	return prev, cur
+}
+
+func TestEstimateFieldRecoversTranslation(t *testing.T) {
+	for _, c := range [][2]int{{3, 0}, {0, -4}, {2, 2}, {-5, 3}} {
+		prev, cur := shiftedPair(c[0], c[1])
+		f, err := EstimateField(prev, cur, 8, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Interior blocks (borders suffer from replication) must recover
+		// the true shift.
+		good, total := 0, 0
+		for by := 1; by < f.BH-1; by++ {
+			for bx := 1; bx < f.BW-1; bx++ {
+				dx, dy := f.VectorAt(bx, by)
+				total++
+				if dx == c[0] && dy == c[1] {
+					good++
+				}
+			}
+		}
+		if good*10 < total*8 {
+			t.Errorf("shift %v: only %d/%d interior blocks recovered", c, good, total)
+		}
+	}
+}
+
+func TestEstimateFieldStillFrames(t *testing.T) {
+	prev, _ := shiftedPair(0, 0)
+	f, err := EstimateField(prev, prev, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean, _, zero, _ := f.Stats()
+	if mean != 0 || zero != 1 {
+		t.Errorf("still frames: mean=%g zero=%g", mean, zero)
+	}
+}
+
+func TestEstimateFieldErrors(t *testing.T) {
+	a := imaging.NewGray(64, 64)
+	b := imaging.NewGray(32, 32)
+	if _, err := EstimateField(a, b, 0, 0); err == nil {
+		t.Error("size mismatch accepted")
+	}
+	tiny := imaging.NewGray(4, 4)
+	if _, err := EstimateField(tiny, tiny, 8, 4); err == nil {
+		t.Error("frame smaller than block accepted")
+	}
+}
+
+func TestFieldStatsDirection(t *testing.T) {
+	prev, cur := shiftedPair(5, 0) // rightward motion
+	f, _ := EstimateField(prev, cur, 8, 7)
+	_, _, _, dir := f.Stats()
+	// Rightward (theta ~ 0) lands in bin DirBins/2 of [-π, π] binning.
+	best, bestV := 0, 0.0
+	for b, v := range dir {
+		if v > bestV {
+			best, bestV = b, v
+		}
+	}
+	if best != DirBins/2 {
+		t.Errorf("dominant direction bin %d, want %d (dir=%v)", best, DirBins/2, dir)
+	}
+}
+
+func TestActivityStringRoundTrip(t *testing.T) {
+	v := synthvid.Generate(synthvid.Sports, synthvid.Config{Frames: 8, Shots: 1, Seed: 3})
+	a, err := ExtractActivity(v.Frames, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseActivity(a.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.String() != a.String() {
+		t.Error("round trip differs")
+	}
+	if d := a.DistanceTo(back); d != 0 {
+		t.Errorf("round-trip distance %g", d)
+	}
+}
+
+func TestParseActivityRejectsGarbage(t *testing.T) {
+	for _, s := range []string{"", "Motion 1 2", "motion 1 2 3 4 5 6 7 8 9 10 11", "Motion a b c d e f g h i j k"} {
+		if _, err := ParseActivity(s); err == nil {
+			t.Errorf("accepted %q", s)
+		}
+	}
+}
+
+func TestActivityDiscriminatesMotionLevels(t *testing.T) {
+	// Sports scenes (fast players/ball) must show more activity than
+	// e-learning slides (a slow cursor).
+	cfg := synthvid.Config{Frames: 10, Shots: 1, Seed: 4, Noise: 0}
+	sports := synthvid.Generate(synthvid.Sports, cfg)
+	slides := synthvid.Generate(synthvid.Elearning, cfg)
+	as, err := ExtractActivity(sports.Frames, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ae, err := ExtractActivity(slides.Frames, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if as.Mean <= ae.Mean {
+		t.Errorf("sports mean %.3f <= elearning mean %.3f", as.Mean, ae.Mean)
+	}
+	if as.ZeroFrac >= ae.ZeroFrac {
+		t.Errorf("sports zero %.3f >= elearning zero %.3f", as.ZeroFrac, ae.ZeroFrac)
+	}
+}
+
+func TestActivityEdgeCases(t *testing.T) {
+	a, err := ExtractActivity(nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Mean != 0 || a.ZeroFrac != 1 {
+		t.Errorf("empty clip activity: %+v", a)
+	}
+	v := synthvid.Generate(synthvid.News, synthvid.Config{Frames: 1, Shots: 1, Seed: 5})
+	if _, err := ExtractActivity(v.Frames, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Large stride still works.
+	v2 := synthvid.Generate(synthvid.News, synthvid.Config{Frames: 6, Shots: 1, Seed: 6})
+	if _, err := ExtractActivity(v2.Frames, 10); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestActivityDirNormalised(t *testing.T) {
+	v := synthvid.Generate(synthvid.Cartoon, synthvid.Config{Frames: 8, Shots: 1, Seed: 7})
+	a, err := ExtractActivity(v.Frames, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, d := range a.Dir {
+		if d < 0 {
+			t.Fatal("negative direction mass")
+		}
+		sum += d
+	}
+	if sum > 0 && math.Abs(sum-1) > 1e-9 {
+		t.Errorf("direction distribution sums to %g", sum)
+	}
+}
+
+func TestActivityDistanceProperties(t *testing.T) {
+	cfg := synthvid.Config{Frames: 8, Shots: 1, Seed: 8}
+	a, _ := ExtractActivity(synthvid.Generate(synthvid.Sports, cfg).Frames, 1)
+	b, _ := ExtractActivity(synthvid.Generate(synthvid.News, cfg).Frames, 1)
+	if d := a.DistanceTo(a); d != 0 {
+		t.Errorf("d(x,x)=%g", d)
+	}
+	if math.Abs(a.DistanceTo(b)-b.DistanceTo(a)) > 1e-12 {
+		t.Error("asymmetric")
+	}
+	if a.DistanceTo(b) < 0 {
+		t.Error("negative")
+	}
+}

@@ -1,0 +1,261 @@
+// Package rangeindex implements the paper's §4.2 "Histogram Based Range
+// Finder" index (Fig. 7): a fixed three-level binary tree over grey-level
+// histogram mass. A frame descends from [0,255] into halves, quarters and
+// eighths as long as the candidate sub-range holds more than a threshold
+// percentage of the histogram mass (55% at the first level, 60% below);
+// where the criterion fails, the frame is grouped at the last satisfied
+// level. The resulting [min,max] pair is stored in the KEY_FRAMES MIN/MAX
+// columns and used to prune candidates at query time.
+package rangeindex
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Paper constants: the pseudo-code divides bucket mass by 900.0 — percent
+// for the 300×300 analysis raster — and compares with 55 (level 1) and 60
+// (levels 2–3).
+const (
+	PaperDivisor         = 900.0
+	PaperLevel1Threshold = 55.0
+	PaperDeepThreshold   = 60.0
+	PaperLevels          = 3
+)
+
+// AssignFaithful is a line-by-line port of the paper's §4.2 pseudo-code,
+// including its off-by-one quirks (each sub-range sum iterates "i < hi"
+// and therefore drops the top bin: 0..62 for [0,63], 64..126 for [64,127],
+// and so on). The histogram must come from the 300×300 analysis raster for
+// the /900 percent scaling to be meaningful.
+func AssignFaithful(hist *[256]int) (min, max int) {
+	sumRange := func(lo, hi int) float64 { // sums bins [lo, hi) as the paper does
+		s := 0
+		for i := lo; i < hi; i++ {
+			s += hist[i]
+		}
+		return float64(s) / PaperDivisor
+	}
+
+	// 1st block test: lower half vs upper half at 55%.
+	min, max = 0, 255
+	if sumRange(0, 127) > PaperLevel1Threshold {
+		min, max = 0, 127
+	} else {
+		min, max = 128, 255
+	}
+
+	// 2nd block test: quarters at 60%.
+	switch {
+	case min == 0 && max == 127:
+		if sumRange(0, 63) > PaperDeepThreshold {
+			min, max = 0, 63
+		} else if sumRange(64, 127) > PaperDeepThreshold {
+			min, max = 64, 127
+		}
+	case min == 128 && max == 255:
+		if sumRange(128, 191) > PaperDeepThreshold {
+			min, max = 128, 191
+		} else if sumRange(192, 255) > PaperDeepThreshold {
+			min, max = 192, 255
+		}
+	}
+
+	// 3rd block test: eighths at 60%.
+	switch {
+	case min == 0 && max == 63:
+		if sumRange(0, 31) > PaperDeepThreshold {
+			min, max = 0, 31
+		} else if sumRange(32, 63) > PaperDeepThreshold {
+			min, max = 32, 63
+		}
+	case min == 64 && max == 127:
+		if sumRange(64, 95) > PaperDeepThreshold {
+			min, max = 64, 95
+		} else if sumRange(96, 127) > PaperDeepThreshold {
+			min, max = 96, 127
+		}
+	case min == 128 && max == 191:
+		if sumRange(128, 159) > PaperDeepThreshold {
+			min, max = 128, 159
+		} else if sumRange(160, 191) > PaperDeepThreshold {
+			min, max = 160, 191
+		}
+	case min == 192 && max == 255:
+		if sumRange(192, 223) > PaperDeepThreshold {
+			min, max = 192, 223
+		} else if sumRange(224, 255) > PaperDeepThreshold {
+			min, max = 224, 255
+		}
+	}
+	return min, max
+}
+
+// Assign is the generalised range finder used for ablation: correct
+// inclusive bin boundaries, an arbitrary level count, and mass measured
+// against the true pixel total. levels counts descents below the root
+// (levels == 3 mirrors the paper's depth). t1 is the first-level threshold
+// percentage and tDeep the threshold for all deeper levels.
+func Assign(hist *[256]int, total int, levels int, t1, tDeep float64) (min, max int) {
+	if total <= 0 {
+		for _, c := range hist {
+			total += c
+		}
+	}
+	if total == 0 {
+		return 0, 255
+	}
+	pct := func(lo, hi int) float64 { // inclusive [lo, hi]
+		s := 0
+		for i := lo; i <= hi; i++ {
+			s += hist[i]
+		}
+		return float64(s) / float64(total) * 100
+	}
+	min, max = 0, 255
+	thr := t1
+	for l := 0; l < levels; l++ {
+		width := (max - min + 1) / 2
+		if width < 1 {
+			break
+		}
+		if pct(min, min+width-1) > thr {
+			max = min + width - 1
+		} else if pct(min+width, max) > thr {
+			min = min + width
+		} else {
+			break
+		}
+		thr = tDeep
+	}
+	return min, max
+}
+
+// Range is a [Min,Max] grey-level bucket.
+type Range struct {
+	Min, Max int
+}
+
+// Overlaps reports whether two ranges intersect. A frame grouped at a
+// shallow level (wide range) may be visually close to one grouped deeper
+// inside that range, so query-time pruning keeps every intersecting
+// bucket.
+func (r Range) Overlaps(o Range) bool {
+	return r.Min <= o.Max && o.Min <= r.Max
+}
+
+// Contains reports whether r fully contains o.
+func (r Range) Contains(o Range) bool {
+	return r.Min <= o.Min && o.Max <= r.Max
+}
+
+func (r Range) String() string { return fmt.Sprintf("[%d,%d]", r.Min, r.Max) }
+
+// Index groups frame IDs by their assigned range. It is safe for
+// concurrent use.
+type Index struct {
+	mu      sync.RWMutex
+	buckets map[Range][]int64
+	n       int
+}
+
+// New returns an empty index.
+func New() *Index {
+	return &Index{buckets: make(map[Range][]int64)}
+}
+
+// Insert adds id under the given range bucket.
+func (ix *Index) Insert(id int64, r Range) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.buckets[r] = append(ix.buckets[r], id)
+	ix.n++
+}
+
+// Remove deletes id from the given bucket, reporting whether it was found.
+func (ix *Index) Remove(id int64, r Range) bool {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ids := ix.buckets[r]
+	for i, v := range ids {
+		if v == id {
+			ids[i] = ids[len(ids)-1]
+			ids = ids[:len(ids)-1]
+			if len(ids) == 0 {
+				delete(ix.buckets, r)
+			} else {
+				ix.buckets[r] = ids
+			}
+			ix.n--
+			return true
+		}
+	}
+	return false
+}
+
+// Len reports the number of indexed IDs.
+func (ix *Index) Len() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.n
+}
+
+// Candidates returns the IDs of every frame whose bucket overlaps the
+// query range, in ascending ID order.
+func (ix *Index) Candidates(q Range) []int64 {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	var out []int64
+	for r, ids := range ix.buckets {
+		if r.Overlaps(q) {
+			out = append(out, ids...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// All returns every indexed ID in ascending order.
+func (ix *Index) All() []int64 {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	out := make([]int64, 0, ix.n)
+	for _, ids := range ix.buckets {
+		out = append(out, ids...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// BucketSizes reports the population of every bucket (Fig. 7 diagnostics).
+func (ix *Index) BucketSizes() map[Range]int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	out := make(map[Range]int, len(ix.buckets))
+	for r, ids := range ix.buckets {
+		out[r] = len(ids)
+	}
+	return out
+}
+
+// PruningFactor estimates query selectivity: the mean fraction of the
+// index scanned per distinct bucket used as a query. 1.0 means no pruning.
+func (ix *Index) PruningFactor() float64 {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if ix.n == 0 || len(ix.buckets) == 0 {
+		return 1
+	}
+	var sum float64
+	for q := range ix.buckets {
+		scanned := 0
+		for r, ids := range ix.buckets {
+			if r.Overlaps(q) {
+				scanned += len(ids)
+			}
+		}
+		sum += float64(scanned) / float64(ix.n)
+	}
+	return sum / float64(len(ix.buckets))
+}

@@ -1,0 +1,224 @@
+package rangeindex
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// histWithMass builds a 300×300-scale histogram with the given share of
+// mass centred in [lo,hi] and the rest spread evenly elsewhere.
+func histWithMass(lo, hi int, pct float64) [256]int {
+	var h [256]int
+	total := 90000
+	in := int(float64(total) * pct / 100)
+	span := hi - lo + 1
+	for i := lo; i <= hi; i++ {
+		h[i] = in / span
+	}
+	rest := total - (in/span)*span
+	out := 0
+	for i := 0; i < 256; i++ {
+		if i < lo || i > hi {
+			out++
+		}
+	}
+	if out > 0 {
+		per := rest / out
+		for i := 0; i < 256; i++ {
+			if i < lo || i > hi {
+				h[i] = per
+			}
+		}
+	}
+	return h
+}
+
+func TestAssignFaithfulDescendsToEighth(t *testing.T) {
+	// 95% of mass in [0,31] → should reach the deepest level.
+	h := histWithMass(0, 30, 95)
+	min, max := AssignFaithful(&h)
+	if min != 0 || max != 31 {
+		t.Errorf("got [%d,%d], want [0,31]", min, max)
+	}
+}
+
+func TestAssignFaithfulStopsAtHalf(t *testing.T) {
+	// Mass spread evenly over [0,127]: level 1 passes (≈100% > 55) but no
+	// quarter reaches 60%.
+	h := histWithMass(0, 127, 99)
+	min, max := AssignFaithful(&h)
+	if min != 0 || max != 127 {
+		t.Errorf("got [%d,%d], want [0,127]", min, max)
+	}
+}
+
+func TestAssignFaithfulUpperBranch(t *testing.T) {
+	h := histWithMass(192, 250, 90)
+	min, max := AssignFaithful(&h)
+	if min < 128 {
+		t.Errorf("got [%d,%d], expected upper half descent", min, max)
+	}
+}
+
+func TestAssignFaithfulDarkFrameMatchesPaperSample(t *testing.T) {
+	// The paper's Fig. 8 sample (a dark frame) reports "min = 0,
+	// max=127": most mass in the lower half but not concentrated enough
+	// to reach a quarter. Mass 70% in [0,100] (spread over a full
+	// quarter-crossing span).
+	h := histWithMass(0, 100, 75)
+	min, max := AssignFaithful(&h)
+	if min != 0 || max != 127 {
+		t.Errorf("got [%d,%d], want [0,127] as in Fig. 8", min, max)
+	}
+}
+
+// The faithful and generalised assigners agree on strongly concentrated
+// histograms (where the off-by-one bins don't matter).
+func TestFaithfulVsGeneralisedAgreement(t *testing.T) {
+	for _, c := range []struct{ lo, hi int }{{0, 20}, {40, 60}, {130, 150}, {230, 250}} {
+		h := histWithMass(c.lo, c.hi, 97)
+		fmin, fmax := AssignFaithful(&h)
+		gmin, gmax := Assign(&h, 90000, PaperLevels, PaperLevel1Threshold, PaperDeepThreshold)
+		if fmin != gmin || fmax != gmax {
+			t.Errorf("mass at [%d,%d]: faithful [%d,%d] vs general [%d,%d]",
+				c.lo, c.hi, fmin, fmax, gmin, gmax)
+		}
+	}
+}
+
+// Assign always returns one of the 15 canonical buckets and the bucket
+// contains... at minimum, is a valid aligned range.
+func TestAssignProducesCanonicalBuckets(t *testing.T) {
+	valid := make(map[Range]bool)
+	valid[Range{0, 255}] = true
+	for _, w := range []int{128, 64, 32} {
+		for lo := 0; lo < 256; lo += w {
+			valid[Range{lo, lo + w - 1}] = true
+		}
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var h [256]int
+		for i := range h {
+			h[i] = rng.Intn(1000)
+		}
+		min, max := AssignFaithful(&h)
+		if !valid[Range{min, max}] {
+			return false
+		}
+		gmin, gmax := Assign(&h, 0, PaperLevels, PaperLevel1Threshold, PaperDeepThreshold)
+		return valid[Range{gmin, gmax}]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAssignEmptyHistogram(t *testing.T) {
+	var h [256]int
+	min, max := Assign(&h, 0, 3, 55, 60)
+	if min != 0 || max != 255 {
+		t.Errorf("empty histogram: [%d,%d]", min, max)
+	}
+}
+
+func TestAssignDeeperLevels(t *testing.T) {
+	// The generalised assigner can go past the paper's 3 levels.
+	h := histWithMass(0, 10, 99)
+	min, max := Assign(&h, 0, 5, 55, 60)
+	if max-min > 15 {
+		t.Errorf("5 levels should reach width 8..16: [%d,%d]", min, max)
+	}
+}
+
+func TestRangeOverlapContains(t *testing.T) {
+	a := Range{0, 127}
+	b := Range{64, 95}
+	c := Range{128, 255}
+	if !a.Overlaps(b) || !b.Overlaps(a) {
+		t.Error("nested ranges must overlap")
+	}
+	if a.Overlaps(c) {
+		t.Error("disjoint ranges overlap")
+	}
+	if !a.Contains(b) || b.Contains(a) {
+		t.Error("containment wrong")
+	}
+	if !a.Overlaps(a) || !a.Contains(a) {
+		t.Error("self relations wrong")
+	}
+	if a.String() != "[0,127]" {
+		t.Errorf("String: %s", a.String())
+	}
+}
+
+func TestIndexInsertRemoveCandidates(t *testing.T) {
+	ix := New()
+	ix.Insert(1, Range{0, 127})
+	ix.Insert(2, Range{0, 63})
+	ix.Insert(3, Range{128, 255})
+	ix.Insert(4, Range{0, 255})
+	if ix.Len() != 4 {
+		t.Fatalf("len = %d", ix.Len())
+	}
+	got := ix.Candidates(Range{0, 63})
+	want := []int64{1, 2, 4}
+	if len(got) != len(want) {
+		t.Fatalf("candidates = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("candidates = %v, want %v", got, want)
+		}
+	}
+	if !ix.Remove(2, Range{0, 63}) {
+		t.Error("remove failed")
+	}
+	if ix.Remove(2, Range{0, 63}) {
+		t.Error("double remove succeeded")
+	}
+	if ix.Len() != 3 {
+		t.Errorf("len after remove = %d", ix.Len())
+	}
+	all := ix.All()
+	if len(all) != 3 {
+		t.Errorf("All = %v", all)
+	}
+}
+
+func TestIndexBucketSizesAndPruning(t *testing.T) {
+	ix := New()
+	// Two disjoint clusters → pruning factor well below 1.
+	for i := int64(0); i < 50; i++ {
+		ix.Insert(i, Range{0, 31})
+	}
+	for i := int64(50); i < 100; i++ {
+		ix.Insert(i, Range{224, 255})
+	}
+	sizes := ix.BucketSizes()
+	if sizes[Range{0, 31}] != 50 || sizes[Range{224, 255}] != 50 {
+		t.Errorf("bucket sizes %v", sizes)
+	}
+	pf := ix.PruningFactor()
+	if pf > 0.6 {
+		t.Errorf("pruning factor %g, want ~0.5", pf)
+	}
+	empty := New()
+	if empty.PruningFactor() != 1 {
+		t.Error("empty index pruning factor should be 1")
+	}
+}
+
+func TestCandidatesSorted(t *testing.T) {
+	ix := New()
+	for _, id := range []int64{9, 3, 7, 1} {
+		ix.Insert(id, Range{0, 255})
+	}
+	got := ix.Candidates(Range{0, 31})
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("unsorted candidates %v", got)
+		}
+	}
+}

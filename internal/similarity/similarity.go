@@ -1,0 +1,316 @@
+// Package similarity provides the distance primitives and score machinery
+// for the CBVR retrieval pipeline: vector metrics, the dynamic-programming
+// sequence alignment the paper uses to compare a query's feature-vector
+// sequence with each stored video ("We use a dynamic programming approach
+// to compute the similarity between the feature vectors for the query and
+// feature vectors in the feature database"), score normalisation, and the
+// rank fusion behind the "Combined" column of Table 1.
+package similarity
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// L1 returns the Manhattan distance between equal-length vectors.
+// It panics if the lengths differ.
+func L1(a, b []float64) float64 {
+	mustSameLen(len(a), len(b))
+	var s float64
+	for i := range a {
+		s += math.Abs(a[i] - b[i])
+	}
+	return s
+}
+
+// L2 returns the Euclidean distance between equal-length vectors.
+func L2(a, b []float64) float64 {
+	mustSameLen(len(a), len(b))
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// Cosine returns the cosine distance 1 - cos(a, b) in [0, 2]. Zero vectors
+// are at distance 1 from everything except another zero vector (0).
+func Cosine(a, b []float64) float64 {
+	mustSameLen(len(a), len(b))
+	var dot, na, nb float64
+	for i := range a {
+		dot += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	if na == 0 && nb == 0 {
+		return 0
+	}
+	if na == 0 || nb == 0 {
+		return 1
+	}
+	c := dot / (math.Sqrt(na) * math.Sqrt(nb))
+	if c > 1 {
+		c = 1
+	} else if c < -1 {
+		c = -1
+	}
+	return 1 - c
+}
+
+// ChiSquare returns the χ² histogram distance Σ (a-b)²/(a+b), skipping
+// empty bins.
+func ChiSquare(a, b []float64) float64 {
+	mustSameLen(len(a), len(b))
+	var s float64
+	for i := range a {
+		sum := a[i] + b[i]
+		if sum == 0 {
+			continue
+		}
+		d := a[i] - b[i]
+		s += d * d / sum
+	}
+	return s
+}
+
+func mustSameLen(a, b int) {
+	if a != b {
+		panic(fmt.Sprintf("similarity: vector length mismatch %d != %d", a, b))
+	}
+}
+
+// DTW computes the dynamic-programming alignment cost between two
+// sequences of lengths n and m with the classic time-warping recurrence
+//
+//	D(i,j) = cost(i,j) + min(D(i-1,j), D(i,j-1), D(i-1,j-1))
+//
+// normalised by the path-length upper bound (n+m) so costs are comparable
+// across sequence lengths. Empty sequences yield +Inf against non-empty
+// ones and 0 against each other.
+func DTW(n, m int, cost func(i, j int) float64) float64 {
+	if n == 0 && m == 0 {
+		return 0
+	}
+	if n == 0 || m == 0 {
+		return math.Inf(1)
+	}
+	prev := make([]float64, m+1)
+	cur := make([]float64, m+1)
+	for j := 1; j <= m; j++ {
+		prev[j] = math.Inf(1)
+	}
+	for i := 1; i <= n; i++ {
+		cur[0] = math.Inf(1)
+		for j := 1; j <= m; j++ {
+			best := prev[j-1] // diagonal
+			if prev[j] < best {
+				best = prev[j]
+			}
+			if cur[j-1] < best {
+				best = cur[j-1]
+			}
+			if i == 1 && j == 1 {
+				best = 0
+			}
+			cur[j] = cost(i-1, j-1) + best
+		}
+		prev, cur = cur, prev
+	}
+	return prev[m] / float64(n+m)
+}
+
+// DTWWindow is DTW restricted to a Sakoe-Chiba band of the given half
+// width; window <= 0 falls back to unconstrained DTW.
+func DTWWindow(n, m, window int, cost func(i, j int) float64) float64 {
+	if window <= 0 {
+		return DTW(n, m, cost)
+	}
+	if n == 0 && m == 0 {
+		return 0
+	}
+	if n == 0 || m == 0 {
+		return math.Inf(1)
+	}
+	// Widen the band so a path always exists when lengths differ.
+	if d := n - m; d > 0 && window < d {
+		window = d
+	} else if d < 0 && window < -d {
+		window = -d
+	}
+	inf := math.Inf(1)
+	prev := make([]float64, m+1)
+	cur := make([]float64, m+1)
+	for j := 0; j <= m; j++ {
+		prev[j] = inf
+	}
+	prev[0] = 0
+	for i := 1; i <= n; i++ {
+		for j := 0; j <= m; j++ {
+			cur[j] = inf
+		}
+		lo := i - window
+		if lo < 1 {
+			lo = 1
+		}
+		hi := i + window
+		if hi > m {
+			hi = m
+		}
+		for j := lo; j <= hi; j++ {
+			best := prev[j-1]
+			if prev[j] < best {
+				best = prev[j]
+			}
+			if cur[j-1] < best {
+				best = cur[j-1]
+			}
+			if math.IsInf(best, 1) {
+				continue
+			}
+			cur[j] = cost(i-1, j-1) + best
+		}
+		prev, cur = cur, prev
+	}
+	if math.IsInf(prev[m], 1) {
+		return inf
+	}
+	return prev[m] / float64(n+m)
+}
+
+// Normalize min-max rescales scores into [0,1] in place and returns the
+// slice. Constant score lists become all zeros (every candidate equally
+// good). Infinite entries map to 1.
+func Normalize(scores []float64) []float64 {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range scores {
+		if math.IsInf(s, 0) || math.IsNaN(s) {
+			continue
+		}
+		if s < lo {
+			lo = s
+		}
+		if s > hi {
+			hi = s
+		}
+	}
+	if lo > hi { // no finite scores
+		for i := range scores {
+			scores[i] = 1
+		}
+		return scores
+	}
+	// Compute with halved operands so hi-lo cannot overflow to +Inf for
+	// extreme inputs, and clamp for safety.
+	span2 := hi/2 - lo/2
+	for i, s := range scores {
+		switch {
+		case math.IsInf(s, 0) || math.IsNaN(s):
+			scores[i] = 1
+		case span2 == 0:
+			scores[i] = 0
+		default:
+			v := (s/2 - lo/2) / span2
+			if v < 0 {
+				v = 0
+			} else if v > 1 {
+				v = 1
+			}
+			scores[i] = v
+		}
+	}
+	return scores
+}
+
+// Fuse combines k normalised per-feature distance lists over the same n
+// candidates into a single combined distance per candidate, as a weighted
+// mean. weights == nil means equal weights. It panics on ragged input.
+func Fuse(lists [][]float64, weights []float64) []float64 {
+	if len(lists) == 0 {
+		return nil
+	}
+	n := len(lists[0])
+	for _, l := range lists {
+		mustSameLen(len(l), n)
+	}
+	if weights == nil {
+		weights = make([]float64, len(lists))
+		for i := range weights {
+			weights[i] = 1
+		}
+	}
+	mustSameLen(len(weights), len(lists))
+	var wsum float64
+	for _, w := range weights {
+		wsum += w
+	}
+	out := make([]float64, n)
+	if wsum == 0 {
+		return out
+	}
+	for li, l := range lists {
+		w := weights[li] / wsum
+		for i, v := range l {
+			out[i] += w * v
+		}
+	}
+	return out
+}
+
+// RRFConstant is the standard reciprocal-rank-fusion damping constant.
+const RRFConstant = 60
+
+// RRF combines k per-feature distance lists over the same n candidates by
+// reciprocal rank fusion: each list contributes 1/(C + rank) per
+// candidate. Unlike score fusion, RRF is insensitive to each feature's
+// distance scale and robust to individually weak features, which is what
+// lets the combined run dominate every single feature. The returned values
+// are negated fused scores so that smaller still means better, matching
+// the distance convention.
+func RRF(lists [][]float64, c float64) []float64 {
+	if len(lists) == 0 {
+		return nil
+	}
+	if c <= 0 {
+		c = RRFConstant
+	}
+	n := len(lists[0])
+	out := make([]float64, n)
+	idx := make([]int, n)
+	for _, l := range lists {
+		mustSameLen(len(l), n)
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.SliceStable(idx, func(a, b int) bool { return l[idx[a]] < l[idx[b]] })
+		for rank, i := range idx {
+			out[i] -= 1 / (c + float64(rank+1))
+		}
+	}
+	return out
+}
+
+// Ranked pairs an ID with a distance for sorting.
+type Ranked struct {
+	ID       int64
+	Distance float64
+}
+
+// Rank sorts (id, distance) pairs ascending by distance, breaking ties by
+// ID for determinism.
+func Rank(ids []int64, dists []float64) []Ranked {
+	mustSameLen(len(ids), len(dists))
+	out := make([]Ranked, len(ids))
+	for i := range ids {
+		out[i] = Ranked{ID: ids[i], Distance: dists[i]}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Distance != out[j].Distance {
+			return out[i].Distance < out[j].Distance
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}

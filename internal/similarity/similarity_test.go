@@ -1,0 +1,285 @@
+package similarity
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestL1L2Basic(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{1, 2, 3}
+	if L1(a, b) != 0 || L2(a, b) != 0 {
+		t.Error("identity distance nonzero")
+	}
+	c := []float64{4, 6, 3}
+	if L1(a, c) != 7 {
+		t.Errorf("L1 = %g", L1(a, c))
+	}
+	if L2(a, c) != 5 {
+		t.Errorf("L2 = %g", L2(a, c))
+	}
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	L1([]float64{1}, []float64{1, 2})
+}
+
+// Metric properties for L1/L2 on random vectors: non-negativity, symmetry,
+// triangle inequality.
+func TestMetricProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(20)
+		mk := func() []float64 {
+			v := make([]float64, n)
+			for i := range v {
+				v[i] = rng.NormFloat64() * 10
+			}
+			return v
+		}
+		a, b, c := mk(), mk(), mk()
+		for _, d := range []func([]float64, []float64) float64{L1, L2} {
+			if d(a, b) < 0 || math.Abs(d(a, b)-d(b, a)) > 1e-9 {
+				return false
+			}
+			if d(a, c) > d(a, b)+d(b, c)+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCosine(t *testing.T) {
+	a := []float64{1, 0}
+	b := []float64{2, 0}
+	if d := Cosine(a, b); math.Abs(d) > 1e-12 {
+		t.Errorf("parallel cosine distance = %g", d)
+	}
+	c := []float64{0, 3}
+	if d := Cosine(a, c); math.Abs(d-1) > 1e-12 {
+		t.Errorf("orthogonal cosine distance = %g", d)
+	}
+	neg := []float64{-1, 0}
+	if d := Cosine(a, neg); math.Abs(d-2) > 1e-12 {
+		t.Errorf("opposite cosine distance = %g", d)
+	}
+	zero := []float64{0, 0}
+	if d := Cosine(zero, zero); d != 0 {
+		t.Errorf("zero-zero = %g", d)
+	}
+	if d := Cosine(a, zero); d != 1 {
+		t.Errorf("zero-nonzero = %g", d)
+	}
+}
+
+func TestChiSquare(t *testing.T) {
+	a := []float64{2, 0, 1}
+	if d := ChiSquare(a, a); d != 0 {
+		t.Errorf("self χ² = %g", d)
+	}
+	b := []float64{0, 0, 3}
+	want := 4.0/2 + 0 + 4.0/4 // (2-0)²/2 + skip + (1-3)²/4
+	if d := ChiSquare(a, b); math.Abs(d-want) > 1e-12 {
+		t.Errorf("χ² = %g, want %g", d, want)
+	}
+}
+
+func TestDTWIdenticalSequences(t *testing.T) {
+	seq := []float64{1, 5, 2, 8}
+	cost := func(i, j int) float64 { return math.Abs(seq[i] - seq[j]) }
+	if d := DTW(len(seq), len(seq), cost); d != 0 {
+		t.Errorf("identical DTW = %g", d)
+	}
+}
+
+func TestDTWTimeShiftInvariance(t *testing.T) {
+	// DTW should align a stretched copy nearly for free, while
+	// element-wise comparison would not.
+	a := []float64{0, 0, 10, 10, 0, 0}
+	b := []float64{0, 10, 0} // compressed version
+	cost := func(i, j int) float64 { return math.Abs(a[i] - b[j]) }
+	d := DTW(len(a), len(b), cost)
+	if d > 0.5 {
+		t.Errorf("DTW of stretched sequences = %g, want ~0", d)
+	}
+	// Mismatched content must cost more.
+	c := []float64{7, 7, 7}
+	cost2 := func(i, j int) float64 { return math.Abs(a[i] - c[j]) }
+	if DTW(len(a), len(c), cost2) <= d {
+		t.Error("dissimilar content not more expensive than time shift")
+	}
+}
+
+func TestDTWEmptySequences(t *testing.T) {
+	cost := func(i, j int) float64 { return 0 }
+	if d := DTW(0, 0, cost); d != 0 {
+		t.Errorf("empty-empty = %g", d)
+	}
+	if d := DTW(3, 0, cost); !math.IsInf(d, 1) {
+		t.Errorf("nonempty-empty = %g", d)
+	}
+}
+
+func TestDTWWindowMatchesFullOnSmall(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := make([]float64, 12)
+	b := make([]float64, 9)
+	for i := range a {
+		a[i] = rng.Float64()
+	}
+	for i := range b {
+		b[i] = rng.Float64()
+	}
+	cost := func(i, j int) float64 { return math.Abs(a[i] - b[j]) }
+	full := DTW(len(a), len(b), cost)
+	wide := DTWWindow(len(a), len(b), 12, cost)
+	if math.Abs(full-wide) > 1e-12 {
+		t.Errorf("wide window %g != full %g", wide, full)
+	}
+	// Window 0 falls back to full.
+	if math.Abs(DTWWindow(len(a), len(b), 0, cost)-full) > 1e-12 {
+		t.Error("window<=0 fallback broken")
+	}
+	// Narrow window can only raise cost.
+	narrow := DTWWindow(len(a), len(b), 3, cost)
+	if narrow+1e-12 < full {
+		t.Errorf("narrow window %g below full %g", narrow, full)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	s := Normalize([]float64{10, 20, 30})
+	if s[0] != 0 || s[2] != 1 || math.Abs(s[1]-0.5) > 1e-12 {
+		t.Errorf("normalized: %v", s)
+	}
+	cst := Normalize([]float64{5, 5, 5})
+	for _, v := range cst {
+		if v != 0 {
+			t.Errorf("constant normalize: %v", cst)
+		}
+	}
+	inf := Normalize([]float64{1, math.Inf(1), 3})
+	if inf[1] != 1 {
+		t.Errorf("inf entry = %v", inf[1])
+	}
+	if inf[0] != 0 || inf[2] != 1 {
+		t.Errorf("finite entries: %v", inf)
+	}
+	allInf := Normalize([]float64{math.Inf(1), math.NaN()})
+	if allInf[0] != 1 || allInf[1] != 1 {
+		t.Errorf("all-inf normalize: %v", allInf)
+	}
+}
+
+// Normalize output always lies in [0,1].
+func TestNormalizeRangeProperty(t *testing.T) {
+	f := func(vs []float64) bool {
+		if len(vs) == 0 {
+			return true
+		}
+		out := Normalize(append([]float64(nil), vs...))
+		for _, v := range out {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFuse(t *testing.T) {
+	lists := [][]float64{{0, 1}, {1, 0}}
+	out := Fuse(lists, nil)
+	if math.Abs(out[0]-0.5) > 1e-12 || math.Abs(out[1]-0.5) > 1e-12 {
+		t.Errorf("equal fuse: %v", out)
+	}
+	weighted := Fuse(lists, []float64{3, 1})
+	if math.Abs(weighted[0]-0.25) > 1e-12 || math.Abs(weighted[1]-0.75) > 1e-12 {
+		t.Errorf("weighted fuse: %v", weighted)
+	}
+	if Fuse(nil, nil) != nil {
+		t.Error("empty fuse should be nil")
+	}
+	zeroW := Fuse(lists, []float64{0, 0})
+	if zeroW[0] != 0 || zeroW[1] != 0 {
+		t.Errorf("zero-weight fuse: %v", zeroW)
+	}
+}
+
+func TestRRFBasic(t *testing.T) {
+	// Candidate 0 is best in both lists → best (most negative) RRF score;
+	// candidates 1 and 2 hold ranks {2,3} and {3,2} → an exact tie.
+	lists := [][]float64{{0.1, 0.5, 0.9}, {0.2, 0.8, 0.4}}
+	out := RRF(lists, 60)
+	if !(out[0] < out[1] && math.Abs(out[1]-out[2]) < 1e-15) {
+		t.Errorf("RRF order wrong: %v", out)
+	}
+	// A third list breaking the tie in favour of candidate 2 must do so.
+	out = RRF(append(lists, []float64{0.5, 0.9, 0.1}), 60)
+	if !(out[0] < out[2] && out[2] < out[1]) {
+		t.Errorf("tie break wrong: %v", out)
+	}
+	if RRF(nil, 60) != nil {
+		t.Error("empty RRF should be nil")
+	}
+	// c <= 0 falls back to the standard constant.
+	def := RRF(lists, 0)
+	std := RRF(lists, RRFConstant)
+	for i := range def {
+		if def[i] != std[i] {
+			t.Errorf("default constant mismatch at %d", i)
+		}
+	}
+}
+
+// RRF is invariant to monotone rescaling of any input list — the property
+// that makes it robust where min-max score fusion is not.
+func TestRRFScaleInvariance(t *testing.T) {
+	lists := [][]float64{{0.3, 0.1, 0.7, 0.2}, {5, 9, 1, 3}}
+	base := RRF([][]float64{lists[0], lists[1]}, 60)
+	scaled := make([]float64, len(lists[1]))
+	for i, v := range lists[1] {
+		scaled[i] = v*1000 + 7 // monotone transform
+	}
+	rescaled := RRF([][]float64{lists[0], scaled}, 60)
+	for i := range base {
+		if math.Abs(base[i]-rescaled[i]) > 1e-12 {
+			t.Fatalf("RRF not scale invariant at %d: %g vs %g", i, base[i], rescaled[i])
+		}
+	}
+}
+
+// A feature agreed on by the majority of lists should win RRF even when
+// one list is adversarial.
+func TestRRFRobustToOneBadList(t *testing.T) {
+	good1 := []float64{0.0, 0.5, 0.9}
+	good2 := []float64{0.1, 0.4, 0.8}
+	bad := []float64{0.9, 0.5, 0.0} // reversed
+	out := RRF([][]float64{good1, good2, bad}, 60)
+	if out[0] >= out[2] {
+		t.Errorf("majority vote lost: %v", out)
+	}
+}
+
+func TestRankDeterministicTieBreak(t *testing.T) {
+	ids := []int64{5, 2, 9}
+	d := []float64{0.3, 0.3, 0.1}
+	r := Rank(ids, d)
+	if r[0].ID != 9 || r[1].ID != 2 || r[2].ID != 5 {
+		t.Errorf("rank order: %+v", r)
+	}
+}

@@ -1,0 +1,288 @@
+package synthvid
+
+import (
+	"math"
+	"math/rand"
+
+	"cbvr/internal/imaging"
+)
+
+// Scene painters. Each returns a closure rendering the shot at normalised
+// time t in [0,1]; all randomness is drawn up front so rendering is pure.
+
+func elearningScene(rng *rand.Rand, cfg Config) *scene {
+	w, h := cfg.Width, cfg.Height
+	// Slide-like: light background, coloured title bar, text-line blocks,
+	// an optional figure; a highlight cursor sweeps slowly. Low motion.
+	bg := uint8(225 + rng.Intn(25))
+	titleH := h / 8
+	lines := 4 + rng.Intn(4)
+	lineLens := make([]float64, lines)
+	for i := range lineLens {
+		lineLens[i] = 0.4 + rng.Float64()*0.5
+	}
+	hasFigure := rng.Float64() < 0.6
+	figX := w/2 + rng.Intn(w/4)
+	figY := h/3 + rng.Intn(h/4)
+	accent := pick(rng, []rgb{{40, 60, 150}, {150, 40, 40}, {20, 110, 60}})
+	return &scene{render: func(t float64) *imaging.Image {
+		im := imaging.New(w, h)
+		im.Fill(bg, bg, bg)
+		fillRect(im, 0, 0, w, titleH, accent.r, accent.g, accent.b)
+		y := titleH + h/12
+		lh := h / (lines * 3)
+		if lh < 2 {
+			lh = 2
+		}
+		for i := 0; i < lines; i++ {
+			fillRect(im, w/12, y, w/12+int(lineLens[i]*float64(w)*0.7), y+lh, 60, 60, 70)
+			y += lh * 2
+		}
+		if hasFigure {
+			fillRect(im, figX, figY, figX+w/5, figY+h/5, accent.r, accent.g, accent.b)
+			fillRect(im, figX+2, figY+2, figX+w/5-2, figY+h/5-2, bg, bg, bg)
+			fillCircle(im, figX+w/10, figY+h/10, h/14, accent.r, accent.g, accent.b)
+		}
+		cx := int(float64(w) * (0.1 + 0.8*t))
+		cy := titleH + h/12 + int(float64(h)/3*t)
+		fillCircle(im, cx, cy, 3, 250, 200, 40)
+		return im
+	}}
+}
+
+func sportsScene(rng *rand.Rand, cfg Config) *scene {
+	w, h := cfg.Width, cfg.Height
+	// Green pitch with white markings, noisy crowd band on top, fast
+	// moving players and a ball. High motion → many distinct key frames.
+	pitch := rgb{uint8(30 + rng.Intn(30)), uint8(120 + rng.Intn(60)), uint8(30 + rng.Intn(30))}
+	crowdH := h / 5
+	noise := newValueNoise(rng)
+	type player struct {
+		x0, y0, vx, vy float64
+		col            rgb
+	}
+	teamA := pick(rng, []rgb{{220, 30, 30}, {240, 240, 240}, {250, 200, 30}})
+	teamB := pick(rng, []rgb{{30, 30, 220}, {10, 10, 10}, {250, 120, 20}})
+	players := make([]player, 5+rng.Intn(4))
+	for i := range players {
+		col := teamA
+		if i%2 == 1 {
+			col = teamB
+		}
+		players[i] = player{
+			x0:  rng.Float64() * float64(w),
+			y0:  float64(crowdH) + rng.Float64()*float64(h-crowdH),
+			vx:  (rng.Float64()*2 - 1) * float64(w) * 0.8,
+			vy:  (rng.Float64()*2 - 1) * float64(h) * 0.4,
+			col: col,
+		}
+	}
+	ballX0 := rng.Float64() * float64(w)
+	ballVX := (rng.Float64()*2 - 1) * float64(w) * 1.2
+	lineY := crowdH + rng.Intn(maxInt(h-crowdH, 1))
+	return &scene{render: func(t float64) *imaging.Image {
+		im := imaging.New(w, h)
+		im.Fill(pitch.r, pitch.g, pitch.b)
+		// Mowing stripes on the pitch.
+		for y := crowdH; y < h; y++ {
+			if (y/(h/8+1))%2 == 0 {
+				for x := 0; x < w; x++ {
+					r, g, b := im.At(x, y)
+					im.Set(x, y, r+10, g+10, b+10)
+				}
+			}
+		}
+		// Crowd: high-frequency noise band.
+		for y := 0; y < crowdH; y++ {
+			for x := 0; x < w; x++ {
+				f := noise.At(float64(x), float64(y), 1.5)
+				im.Set(x, y, lerp8(60, 200, f), lerp8(50, 180, f), lerp8(55, 170, f))
+			}
+		}
+		// Pitch markings.
+		fillRect(im, 0, lineY, w, lineY+2, 245, 245, 245)
+		ringCircle(im, w/2, (crowdH+h)/2, h/5, 2, 245, 245, 245)
+		// Players.
+		for _, p := range players {
+			x := int(math.Mod(p.x0+p.vx*t+float64(3*w), float64(w)))
+			y := crowdH + int(math.Abs(math.Mod(p.y0+p.vy*t, float64(h-crowdH))))
+			if y >= h {
+				y = h - 1
+			}
+			fillRect(im, x-2, y-4, x+2, y+4, p.col.r, p.col.g, p.col.b)
+		}
+		// Ball.
+		bx := int(math.Mod(ballX0+ballVX*t+float64(3*w), float64(w)))
+		by := crowdH + (h-crowdH)/2 + int(20*math.Sin(6*t))
+		fillCircle(im, bx, by, 2, 255, 255, 255)
+		return im
+	}}
+}
+
+func cartoonScene(rng *rand.Rand, cfg Config) *scene {
+	w, h := cfg.Width, cfg.Height
+	// Flat saturated regions with bold outlines; a bouncing character
+	// blob. Few, large uniform regions → region growing finds them.
+	sky := pick(rng, []rgb{{90, 200, 250}, {250, 210, 90}, {230, 120, 200}, {120, 230, 140}})
+	ground := pick(rng, []rgb{{250, 160, 60}, {90, 220, 120}, {200, 90, 220}, {240, 230, 80}})
+	body := pick(rng, []rgb{{250, 60, 60}, {60, 60, 250}, {20, 20, 20}, {250, 250, 250}})
+	groundY := h/2 + rng.Intn(h/4)
+	sunX := rng.Intn(w)
+	hops := 2 + rng.Intn(3)
+	return &scene{render: func(t float64) *imaging.Image {
+		im := imaging.New(w, h)
+		im.Fill(sky.r, sky.g, sky.b)
+		fillRect(im, 0, groundY, w, h, ground.r, ground.g, ground.b)
+		fillRect(im, 0, groundY, w, groundY+2, 10, 10, 10)
+		fillCircle(im, sunX, h/6, h/8, 255, 240, 80)
+		ringCircle(im, sunX, h/6, h/8, 2, 10, 10, 10)
+		// Bouncing character.
+		cx := int(float64(w) * (0.1 + 0.8*t))
+		cy := groundY - h/8 - int(math.Abs(math.Sin(float64(hops)*math.Pi*t))*float64(h)/4)
+		fillCircle(im, cx, cy, h/9, body.r, body.g, body.b)
+		ringCircle(im, cx, cy, h/9, 2, 10, 10, 10)
+		// Eyes.
+		fillCircle(im, cx-h/30-1, cy-h/40, h/40+1, 255, 255, 255)
+		fillCircle(im, cx+h/30+1, cy-h/40, h/40+1, 255, 255, 255)
+		return im
+	}}
+}
+
+func movieScene(rng *rand.Rand, cfg Config) *scene {
+	w, h := cfg.Width, cfg.Height
+	// Cinematic: dark vertical gradient, letterbox bars, silhouettes and a
+	// moody key light that tracks across the frame. Medium motion.
+	top := pick(rng, []rgb{{10, 10, 30}, {40, 15, 15}, {15, 30, 40}, {25, 20, 35}})
+	bottom := pick(rng, []rgb{{60, 50, 80}, {110, 60, 40}, {50, 80, 100}, {80, 70, 60}})
+	barH := h / 10
+	nSil := 1 + rng.Intn(3)
+	silX := make([]float64, nSil)
+	silW := make([]int, nSil)
+	for i := range silX {
+		silX[i] = rng.Float64()
+		silW[i] = w/10 + rng.Intn(w/8)
+	}
+	lightDir := 1.0
+	if rng.Float64() < 0.5 {
+		lightDir = -1.0
+	}
+	return &scene{render: func(t float64) *imaging.Image {
+		im := imaging.New(w, h)
+		vGradient(im, top, bottom)
+		// Key light sweep: brighten a soft column.
+		lx := float64(w) * (0.5 + lightDir*0.35*(t-0.5)*2)
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				d := math.Abs(float64(x) - lx)
+				if d < float64(w)/5 {
+					gain := 1.6 - d/(float64(w)/5)*0.6
+					r, g, b := im.At(x, y)
+					im.Set(x, y, clampMul(r, gain), clampMul(g, gain), clampMul(b, gain))
+				}
+			}
+		}
+		// Silhouettes drift slowly.
+		for i := 0; i < nSil; i++ {
+			x := int(math.Mod(silX[i]*float64(w)+t*float64(w)/8, float64(w)))
+			fillRect(im, x, h/3, x+silW[i], h-barH, 8, 8, 12)
+			fillCircle(im, x+silW[i]/2, h/3-h/12, h/12, 8, 8, 12)
+		}
+		hStripe(im, 0, barH, rgb{0, 0, 0})
+		hStripe(im, h-barH, h, rgb{0, 0, 0})
+		return im
+	}}
+}
+
+func newsScene(rng *rand.Rand, cfg Config) *scene {
+	w, h := cfg.Width, cfg.Height
+	// Studio: blue backdrop, static anchor bust, bright lower-third band
+	// with a scrolling ticker. Minimal motion except the ticker.
+	backdrop := rgb{uint8(20 + rng.Intn(30)), uint8(40 + rng.Intn(40)), uint8(120 + rng.Intn(80))}
+	skin := pick(rng, []rgb{{224, 172, 105}, {198, 134, 66}, {141, 85, 36}})
+	suit := pick(rng, []rgb{{40, 40, 45}, {70, 30, 30}, {30, 50, 70}})
+	bandCol := pick(rng, []rgb{{200, 30, 30}, {230, 160, 20}, {180, 20, 60}})
+	anchorX := w/2 + rng.Intn(w/6) - w/12
+	bandY := h - h/4
+	segs := 6 + rng.Intn(5)
+	segLens := make([]int, segs)
+	for i := range segLens {
+		segLens[i] = w/12 + rng.Intn(w/6)
+	}
+	return &scene{render: func(t float64) *imaging.Image {
+		im := imaging.New(w, h)
+		vGradient(im, backdrop, rgb{backdrop.r / 2, backdrop.g / 2, backdrop.b})
+		// Desk.
+		fillRect(im, 0, bandY-h/10, w, bandY, 90, 70, 50)
+		// Anchor: suit trapezoid approximated by rect + head.
+		fillRect(im, anchorX-w/8, bandY-h/10-h/4, anchorX+w/8, bandY-h/10, suit.r, suit.g, suit.b)
+		fillCircle(im, anchorX, bandY-h/10-h/4-h/12, h/11, skin.r, skin.g, skin.b)
+		// Lower third with scrolling ticker blocks.
+		fillRect(im, 0, bandY, w, bandY+h/9, bandCol.r, bandCol.g, bandCol.b)
+		x := -int(t * float64(w))
+		for i := 0; i < segs; i++ {
+			fillRect(im, x, bandY+2, x+segLens[i], bandY+h/9-2, 250, 250, 250)
+			x += segLens[i] + w/14
+			if x > w {
+				x -= w + w/7
+			}
+		}
+		// Station logo.
+		fillRect(im, w-w/7, h/16, w-w/28, h/16+h/10, 250, 250, 250)
+		return im
+	}}
+}
+
+func natureScene(rng *rand.Rand, cfg Config) *scene {
+	w, h := cfg.Width, cfg.Height
+	// Landscape: sky gradient, noisy foliage/terrain, slow pan. Rich
+	// texture → Tamura/GLCM discriminative.
+	skyTop := pick(rng, []rgb{{120, 170, 240}, {250, 180, 120}, {170, 190, 220}})
+	skyBot := rgb{skyTop.r, uint8(minInt(int(skyTop.g)+30, 255)), uint8(minInt(int(skyTop.b)+20, 255))}
+	terrA := pick(rng, []rgb{{30, 90, 30}, {90, 70, 30}, {40, 100, 60}})
+	terrB := rgb{uint8(minInt(int(terrA.r)+70, 255)), uint8(minInt(int(terrA.g)+80, 255)), uint8(minInt(int(terrA.b)+50, 255))}
+	horizon := h/3 + rng.Intn(h/4)
+	noise := newValueNoise(rng)
+	panSpeed := (rng.Float64()*2 - 1) * float64(w) / 2
+	scale := 4 + rng.Float64()*8
+	hasWater := rng.Float64() < 0.4
+	return &scene{render: func(t float64) *imaging.Image {
+		im := imaging.New(w, h)
+		vGradient(im, skyTop, skyBot)
+		dx := panSpeed * t
+		for y := horizon; y < h; y++ {
+			for x := 0; x < w; x++ {
+				f := noise.At(float64(x)+dx, float64(y), scale)
+				im.Set(x, y, lerp8(terrA.r, terrB.r, f), lerp8(terrA.g, terrB.g, f), lerp8(terrA.b, terrB.b, f))
+			}
+		}
+		if hasWater {
+			wy := h - h/6
+			for y := wy; y < h; y++ {
+				for x := 0; x < w; x++ {
+					f := noise.At(float64(x)*2+dx, float64(y)*4, scale)
+					im.Set(x, y, lerp8(40, 90, f), lerp8(90, 140, f), lerp8(160, 220, f))
+				}
+			}
+		}
+		// Drifting cloud.
+		cx := int(math.Mod(float64(w)*0.2+t*float64(w)/3+float64(2*w), float64(w)))
+		fillCircle(im, cx, h/6, h/10, 250, 250, 252)
+		fillCircle(im, cx+h/10, h/6+h/40, h/12, 245, 245, 248)
+		return im
+	}}
+}
+
+func clampMul(v uint8, gain float64) uint8 {
+	x := float64(v) * gain
+	if x > 255 {
+		return 255
+	}
+	return uint8(x)
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

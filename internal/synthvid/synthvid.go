@@ -1,0 +1,266 @@
+// Package synthvid generates deterministic synthetic videos for the CBVR
+// system. It substitutes for the paper's corpus of clips downloaded from
+// archive.org ("e-learning, sports, cartoon, movies, etc."): each category
+// has a distinctive visual grammar (palette, layout, texture, motion, shot
+// structure) so that colour/texture/region features genuinely discriminate
+// between categories, while intra-category variation (different seeds,
+// noise, shot content) keeps retrieval non-trivial.
+//
+// Everything is seeded: the same (category, config, seed) always produces
+// the same pixels, which makes the paper's Table 1 reproduction
+// deterministic.
+package synthvid
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cbvr/internal/imaging"
+)
+
+// Category identifies a video genre, mirroring the paper's corpus
+// ("different categories of images like e-learning, sports, cartoon,
+// movies, etc.").
+type Category int
+
+// The generated genres. NumCategories counts them.
+const (
+	Elearning Category = iota
+	Sports
+	Cartoon
+	Movie
+	News
+	Nature
+	NumCategories = 6
+)
+
+var categoryNames = [...]string{"elearning", "sports", "cartoon", "movie", "news", "nature"}
+
+// String returns the lower-case category name.
+func (c Category) String() string {
+	if c < 0 || int(c) >= len(categoryNames) {
+		return fmt.Sprintf("category(%d)", int(c))
+	}
+	return categoryNames[c]
+}
+
+// ParseCategory maps a name produced by String back to a Category.
+func ParseCategory(s string) (Category, error) {
+	for i, n := range categoryNames {
+		if n == s {
+			return Category(i), nil
+		}
+	}
+	return 0, fmt.Errorf("synthvid: unknown category %q", s)
+}
+
+// AllCategories returns every category in order.
+func AllCategories() []Category {
+	out := make([]Category, NumCategories)
+	for i := range out {
+		out[i] = Category(i)
+	}
+	return out
+}
+
+// Config controls generation. The zero value is usable: defaults are
+// applied by Generate.
+type Config struct {
+	Width, Height int     // frame size; default 160×120
+	Frames        int     // total frames; default 48
+	Shots         int     // number of shots (scene cuts); default 4
+	FPS           int     // nominal frame rate, metadata only; default 12
+	Noise         float64 // per-pixel uniform noise amplitude in [0,255]; default 6
+	// HueJitter rotates every video's hue by a random angle in
+	// [-HueJitter, +HueJitter] degrees. Per-video colour drift weakens
+	// pure colour identity (as lighting/encoding variation does in real
+	// corpora) without touching luma texture; negative disables, 0 means
+	// the default of 18°.
+	HueJitter float64
+	Seed      int64 // PRNG seed; 0 means seed 1
+}
+
+func (c Config) withDefaults() Config {
+	if c.Width <= 0 {
+		c.Width = 160
+	}
+	if c.Height <= 0 {
+		c.Height = 120
+	}
+	if c.Frames <= 0 {
+		c.Frames = 48
+	}
+	if c.Shots <= 0 {
+		c.Shots = 4
+	}
+	if c.Shots > c.Frames {
+		c.Shots = c.Frames
+	}
+	if c.FPS <= 0 {
+		c.FPS = 12
+	}
+	if c.Noise < 0 {
+		c.Noise = 0
+	} else if c.Noise == 0 {
+		c.Noise = 6
+	}
+	if c.HueJitter < 0 {
+		c.HueJitter = 0
+	} else if c.HueJitter == 0 {
+		c.HueJitter = 18
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Video is a generated clip: named frames plus provenance.
+type Video struct {
+	Name     string
+	Category Category
+	FPS      int
+	Frames   []*imaging.Image
+	// ShotStarts records the frame index at which each shot begins,
+	// ascending, starting at 0. Useful as ground truth for key-frame and
+	// shot-boundary tests.
+	ShotStarts []int
+}
+
+// Generate renders a synthetic video of the given category.
+func Generate(cat Category, cfg Config) *Video {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed ^ int64(cat)*0x5851f42d4c957f2d))
+	v := &Video{
+		Name:     fmt.Sprintf("%s_%04d", cat, cfg.Seed),
+		Category: cat,
+		FPS:      cfg.FPS,
+		Frames:   make([]*imaging.Image, 0, cfg.Frames),
+	}
+
+	bounds := shotBoundaries(rng, cfg.Frames, cfg.Shots)
+	v.ShotStarts = bounds
+
+	hueShift := 0.0
+	if cfg.HueJitter > 0 {
+		hueShift = (rng.Float64()*2 - 1) * cfg.HueJitter
+	}
+	for s := 0; s < len(bounds); s++ {
+		start := bounds[s]
+		end := cfg.Frames
+		if s+1 < len(bounds) {
+			end = bounds[s+1]
+		}
+		scene := newScene(cat, rng, cfg)
+		for f := start; f < end; f++ {
+			t := float64(f-start) / float64(maxInt(end-start-1, 1))
+			im := scene.render(t)
+			if hueShift != 0 {
+				rotateHue(im, hueShift)
+			}
+			if cfg.Noise > 0 {
+				addNoise(im, rng, cfg.Noise)
+			}
+			v.Frames = append(v.Frames, im)
+		}
+	}
+	return v
+}
+
+// rotateHue shifts every pixel's hue by the given angle in degrees.
+func rotateHue(im *imaging.Image, deg float64) {
+	for i := 0; i < len(im.Pix); i += 3 {
+		h, s, v := imaging.RGBToHSV(im.Pix[i], im.Pix[i+1], im.Pix[i+2])
+		if s == 0 {
+			continue // grays carry no hue
+		}
+		r, g, b := imaging.HSVToRGB(h+deg, s, v)
+		im.Pix[i], im.Pix[i+1], im.Pix[i+2] = r, g, b
+	}
+}
+
+// GenerateCorpus renders n videos per category across all categories.
+// Seeds are derived from cfg.Seed so corpora are reproducible; each video
+// gets a distinct name "<category>_<index>".
+func GenerateCorpus(perCategory int, cfg Config) []*Video {
+	cfg = cfg.withDefaults()
+	var out []*Video
+	for _, cat := range AllCategories() {
+		for i := 0; i < perCategory; i++ {
+			vc := cfg
+			vc.Seed = cfg.Seed + int64(i)*7919 + int64(cat)*104729
+			v := Generate(cat, vc)
+			v.Name = fmt.Sprintf("%s_%02d", cat, i)
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// shotBoundaries partitions [0, frames) into the given number of shots of
+// roughly equal, jittered length. The first boundary is always 0 and the
+// result is strictly increasing.
+func shotBoundaries(rng *rand.Rand, frames, shots int) []int {
+	bounds := make([]int, 0, shots)
+	base := frames / shots
+	pos := 0
+	for i := 0; i < shots && pos < frames; i++ {
+		bounds = append(bounds, pos)
+		jitter := 0
+		if base > 2 {
+			jitter = rng.Intn(base/2+1) - base/4
+		}
+		next := pos + base + jitter
+		if next <= pos {
+			next = pos + 1
+		}
+		pos = next
+	}
+	return bounds
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// addNoise perturbs every channel by a uniform value in [-amp, amp].
+func addNoise(im *imaging.Image, rng *rand.Rand, amp float64) {
+	for i := range im.Pix {
+		d := (rng.Float64()*2 - 1) * amp
+		v := float64(im.Pix[i]) + d
+		if v < 0 {
+			v = 0
+		} else if v > 255 {
+			v = 255
+		}
+		im.Pix[i] = uint8(v)
+	}
+}
+
+// scene is one shot's renderable content. render(t) draws the scene at
+// normalised time t in [0,1] so in-shot motion is smooth and deterministic.
+type scene struct {
+	render func(t float64) *imaging.Image
+}
+
+func newScene(cat Category, rng *rand.Rand, cfg Config) *scene {
+	switch cat {
+	case Elearning:
+		return elearningScene(rng, cfg)
+	case Sports:
+		return sportsScene(rng, cfg)
+	case Cartoon:
+		return cartoonScene(rng, cfg)
+	case Movie:
+		return movieScene(rng, cfg)
+	case News:
+		return newsScene(rng, cfg)
+	case Nature:
+		return natureScene(rng, cfg)
+	default:
+		return cartoonScene(rng, cfg)
+	}
+}

@@ -1,0 +1,103 @@
+package vstore
+
+import (
+	"fmt"
+)
+
+// Blob pages chain through the common header link field and store a chunk
+// length at [16:18) followed by payload bytes. The chain's total length
+// lives with the reference (in the owning row or the meta page), not in
+// the chain itself.
+const (
+	offBlobLen   = hdrCommon
+	blobDataOff  = hdrCommon + 2
+	blobChunkMax = PageSize - blobDataOff
+)
+
+// BlobRef locates an out-of-row value.
+type BlobRef struct {
+	First PageID `json:"first"`
+	Len   int64  `json:"len"`
+}
+
+// IsZero reports whether the reference points at nothing.
+func (r BlobRef) IsZero() bool { return r.First == invalidPage && r.Len == 0 }
+
+// writeBlobChain stores data across freshly allocated blob pages and
+// returns the first page of the chain. Zero-length blobs occupy one page
+// so that the reference remains addressable.
+func (db *DB) writeBlobChain(tx *Txn, data []byte) (PageID, error) {
+	var first, prev *Page
+	remaining := data
+	for {
+		p, err := db.allocPage(tx)
+		if err != nil {
+			return invalidPage, err
+		}
+		p.SetType(pageTypeBlob)
+		chunk := len(remaining)
+		if chunk > blobChunkMax {
+			chunk = blobChunkMax
+		}
+		putU16(p.data[offBlobLen:], uint16(chunk))
+		copy(p.data[blobDataOff:], remaining[:chunk])
+		remaining = remaining[chunk:]
+		if first == nil {
+			first = p
+		}
+		if prev != nil {
+			prev.SetLink(p.id)
+		}
+		prev = p
+		if len(remaining) == 0 {
+			break
+		}
+	}
+	return first.id, nil
+}
+
+// readBlobChain reassembles a blob of the given total length starting at
+// first.
+func (db *DB) readBlobChain(first PageID, length int64) ([]byte, error) {
+	out := make([]byte, 0, length)
+	id := first
+	for int64(len(out)) < length {
+		if id == invalidPage {
+			return nil, fmt.Errorf("vstore: blob chain truncated at %d/%d bytes", len(out), length)
+		}
+		p, err := db.pager.get(id)
+		if err != nil {
+			return nil, err
+		}
+		if p.Type() != pageTypeBlob {
+			return nil, fmt.Errorf("vstore: page %d in blob chain has type %d", id, p.Type())
+		}
+		chunk := int(getU16(p.data[offBlobLen:]))
+		if chunk > blobChunkMax {
+			return nil, fmt.Errorf("vstore: blob page %d chunk %d too large", id, chunk)
+		}
+		out = append(out, p.data[blobDataOff:blobDataOff+chunk]...)
+		id = p.Link()
+	}
+	if int64(len(out)) != length {
+		return nil, fmt.Errorf("vstore: blob chain yielded %d bytes, want %d", len(out), length)
+	}
+	return out, nil
+}
+
+// freeBlobChain returns every page of the chain to the free list.
+func (db *DB) freeBlobChain(tx *Txn, first PageID) error {
+	id := first
+	for id != invalidPage {
+		p, err := db.pager.get(id)
+		if err != nil {
+			return err
+		}
+		next := p.Link() // read before freePage zeroes the page
+		if err := db.freePage(tx, p); err != nil {
+			return err
+		}
+		id = next
+	}
+	return nil
+}

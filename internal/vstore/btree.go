@@ -1,0 +1,357 @@
+package vstore
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// B+tree over uint64 keys and uint64 values. Leaves chain rightwards via
+// the common header link. Deletion is lazy (no sibling merging): keys are
+// removed in place and empty leaves persist until the table is dropped —
+// the same trade-off production B-trees such as PostgreSQL's make by
+// deferring page merges to vacuum.
+//
+// Leaf layout:     [16:18) nkeys, entries from 18 at 16 bytes (key, val).
+// Internal layout: [16:18) nkeys, child0 u32 at [18:22), entries from 22
+// at 12 bytes (key, child): child_i+1 covers keys >= key_i.
+const (
+	offBTNKeys = hdrCommon
+
+	leafEntryOff  = hdrCommon + 2
+	leafEntrySize = 16
+	leafMaxKeys   = (PageSize - leafEntryOff) / leafEntrySize
+
+	intChild0Off = hdrCommon + 2
+	intEntryOff  = hdrCommon + 6
+	intEntrySize = 12
+	intMaxKeys   = (PageSize - intEntryOff) / intEntrySize
+)
+
+func putU16(b []byte, v uint16) { binary.BigEndian.PutUint16(b, v) }
+func getU16(b []byte) uint16    { return binary.BigEndian.Uint16(b) }
+
+func btNKeys(p *Page) int       { return int(getU16(p.data[offBTNKeys:])) }
+func btSetNKeys(p *Page, n int) { putU16(p.data[offBTNKeys:], uint16(n)) }
+
+func leafKey(p *Page, i int) uint64 {
+	return binary.BigEndian.Uint64(p.data[leafEntryOff+i*leafEntrySize:])
+}
+func leafVal(p *Page, i int) uint64 {
+	return binary.BigEndian.Uint64(p.data[leafEntryOff+i*leafEntrySize+8:])
+}
+func leafSet(p *Page, i int, k, v uint64) {
+	binary.BigEndian.PutUint64(p.data[leafEntryOff+i*leafEntrySize:], k)
+	binary.BigEndian.PutUint64(p.data[leafEntryOff+i*leafEntrySize+8:], v)
+}
+
+func intChild(p *Page, i int) PageID {
+	if i == 0 {
+		return PageID(binary.BigEndian.Uint32(p.data[intChild0Off:]))
+	}
+	return PageID(binary.BigEndian.Uint32(p.data[intEntryOff+(i-1)*intEntrySize+8:]))
+}
+func intSetChild(p *Page, i int, c PageID) {
+	if i == 0 {
+		binary.BigEndian.PutUint32(p.data[intChild0Off:], uint32(c))
+		return
+	}
+	binary.BigEndian.PutUint32(p.data[intEntryOff+(i-1)*intEntrySize+8:], uint32(c))
+}
+func intKey(p *Page, i int) uint64 {
+	return binary.BigEndian.Uint64(p.data[intEntryOff+i*intEntrySize:])
+}
+func intSetKey(p *Page, i int, k uint64) {
+	binary.BigEndian.PutUint64(p.data[intEntryOff+i*intEntrySize:], k)
+}
+
+// leafSearch returns the position of the first key >= k.
+func leafSearch(p *Page, k uint64) int {
+	lo, hi := 0, btNKeys(p)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if leafKey(p, mid) < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// intSearch returns the child index to descend for key k: the number of
+// separator keys <= k.
+func intSearch(p *Page, k uint64) int {
+	lo, hi := 0, btNKeys(p)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if intKey(p, mid) <= k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// btSearch looks up key under root. root may be invalidPage (empty tree).
+func (db *DB) btSearch(root PageID, key uint64) (uint64, bool, error) {
+	if root == invalidPage {
+		return 0, false, nil
+	}
+	id := root
+	for {
+		p, err := db.pager.get(id)
+		if err != nil {
+			return 0, false, err
+		}
+		switch p.Type() {
+		case pageTypeInternal:
+			id = intChild(p, intSearch(p, key))
+		case pageTypeLeaf:
+			i := leafSearch(p, key)
+			if i < btNKeys(p) && leafKey(p, i) == key {
+				return leafVal(p, i), true, nil
+			}
+			return 0, false, nil
+		default:
+			return 0, false, fmt.Errorf("vstore: page %d has type %d, not a btree node", id, p.Type())
+		}
+	}
+}
+
+// splitResult propagates a child split upward.
+type splitResult struct {
+	split   bool
+	sepKey  uint64 // first key of the right sibling
+	rightID PageID
+}
+
+// btInsert inserts (key, val), replacing an existing value when replace is
+// true. It returns the (possibly new) root, whether a new key was added,
+// and whether an existing key blocked the insert (replace == false).
+func (db *DB) btInsert(tx *Txn, root PageID, key, val uint64, replace bool) (PageID, bool, error) {
+	if root == invalidPage {
+		leaf, err := db.allocPage(tx)
+		if err != nil {
+			return invalidPage, false, err
+		}
+		leaf.SetType(pageTypeLeaf)
+		btSetNKeys(leaf, 1)
+		leafSet(leaf, 0, key, val)
+		return leaf.id, true, nil
+	}
+	added, res, err := db.btInsertAt(tx, root, key, val, replace)
+	if err != nil {
+		return root, false, err
+	}
+	if !res.split {
+		return root, added, nil
+	}
+	// Grow a new root.
+	nr, err := db.allocPage(tx)
+	if err != nil {
+		return root, added, err
+	}
+	nr.SetType(pageTypeInternal)
+	btSetNKeys(nr, 1)
+	intSetChild(nr, 0, root)
+	intSetKey(nr, 0, res.sepKey)
+	intSetChild(nr, 1, res.rightID)
+	return nr.id, added, nil
+}
+
+func (db *DB) btInsertAt(tx *Txn, id PageID, key, val uint64, replace bool) (bool, splitResult, error) {
+	p, err := db.pager.get(id)
+	if err != nil {
+		return false, splitResult{}, err
+	}
+	switch p.Type() {
+	case pageTypeLeaf:
+		return db.leafInsert(tx, p, key, val, replace)
+	case pageTypeInternal:
+		ci := intSearch(p, key)
+		child := intChild(p, ci)
+		added, res, err := db.btInsertAt(tx, child, key, val, replace)
+		if err != nil || !res.split {
+			return added, splitResult{}, err
+		}
+		// Re-fetch: the recursive call may have evicted p... it cannot,
+		// because every touched page is pinned, but p itself may be
+		// untouched. Pin defensively around the child insert instead.
+		p, err = db.pager.get(id)
+		if err != nil {
+			return added, splitResult{}, err
+		}
+		return added, db.intAddSeparator(tx, p, ci, res), nil
+	default:
+		return false, splitResult{}, fmt.Errorf("vstore: page %d has type %d, not a btree node", id, p.Type())
+	}
+}
+
+func (db *DB) leafInsert(tx *Txn, p *Page, key, val uint64, replace bool) (bool, splitResult, error) {
+	i := leafSearch(p, key)
+	n := btNKeys(p)
+	if i < n && leafKey(p, i) == key {
+		if !replace {
+			return false, splitResult{}, fmt.Errorf("vstore: duplicate key %d", key)
+		}
+		tx.touch(p)
+		leafSet(p, i, key, val)
+		return false, splitResult{}, nil
+	}
+	tx.touch(p)
+	if n < leafMaxKeys {
+		copy(p.data[leafEntryOff+(i+1)*leafEntrySize:], p.data[leafEntryOff+i*leafEntrySize:leafEntryOff+n*leafEntrySize])
+		leafSet(p, i, key, val)
+		btSetNKeys(p, n+1)
+		return true, splitResult{}, nil
+	}
+	// Split: move the upper half to a new right sibling, then insert.
+	right, err := db.allocPage(tx)
+	if err != nil {
+		return false, splitResult{}, err
+	}
+	right.SetType(pageTypeLeaf)
+	mid := n / 2
+	moved := n - mid
+	copy(right.data[leafEntryOff:], p.data[leafEntryOff+mid*leafEntrySize:leafEntryOff+n*leafEntrySize])
+	btSetNKeys(right, moved)
+	btSetNKeys(p, mid)
+	right.SetLink(p.Link())
+	p.SetLink(right.id)
+	sep := leafKey(right, 0)
+	if key < sep {
+		if _, _, err := db.leafInsert(tx, p, key, val, replace); err != nil {
+			return false, splitResult{}, err
+		}
+	} else {
+		if _, _, err := db.leafInsert(tx, right, key, val, replace); err != nil {
+			return false, splitResult{}, err
+		}
+	}
+	return true, splitResult{split: true, sepKey: sep, rightID: right.id}, nil
+}
+
+// intAddSeparator inserts (sepKey, rightID) after child index ci, splitting
+// the internal node if needed.
+func (db *DB) intAddSeparator(tx *Txn, p *Page, ci int, res splitResult) splitResult {
+	tx.touch(p)
+	n := btNKeys(p)
+	if n < intMaxKeys {
+		copy(p.data[intEntryOff+(ci+1)*intEntrySize:], p.data[intEntryOff+ci*intEntrySize:intEntryOff+n*intEntrySize])
+		intSetKey(p, ci, res.sepKey)
+		intSetChild(p, ci+1, res.rightID)
+		btSetNKeys(p, n+1)
+		return splitResult{}
+	}
+	// Split the internal node: median key moves up.
+	right, err := db.allocPage(tx)
+	if err != nil {
+		// Allocation failures at this depth leave the tree unchanged;
+		// surface as a panic converted by the caller's recover? Keep it
+		// simple: an internal split failure is unrecoverable here.
+		panic(fmt.Sprintf("vstore: internal split allocation failed: %v", err))
+	}
+	right.SetType(pageTypeInternal)
+	mid := n / 2
+	up := intKey(p, mid)
+	movedKeys := n - mid - 1
+	// Right gets child[mid+1..n] and keys[mid+1..n).
+	intSetChild(right, 0, intChild(p, mid+1))
+	copy(right.data[intEntryOff:], p.data[intEntryOff+(mid+1)*intEntrySize:intEntryOff+n*intEntrySize])
+	btSetNKeys(right, movedKeys)
+	btSetNKeys(p, mid)
+	// Now insert the pending separator into the proper half.
+	if res.sepKey < up {
+		db.intAddSeparator(tx, p, ci, res)
+	} else {
+		db.intAddSeparator(tx, right, ci-mid-1, res)
+	}
+	return splitResult{split: true, sepKey: up, rightID: right.id}
+}
+
+// btDelete removes key, reporting whether it was present. Leaves are never
+// merged (lazy deletion).
+func (db *DB) btDelete(tx *Txn, root PageID, key uint64) (bool, error) {
+	if root == invalidPage {
+		return false, nil
+	}
+	id := root
+	for {
+		p, err := db.pager.get(id)
+		if err != nil {
+			return false, err
+		}
+		switch p.Type() {
+		case pageTypeInternal:
+			id = intChild(p, intSearch(p, key))
+		case pageTypeLeaf:
+			i := leafSearch(p, key)
+			n := btNKeys(p)
+			if i >= n || leafKey(p, i) != key {
+				return false, nil
+			}
+			tx.touch(p)
+			copy(p.data[leafEntryOff+i*leafEntrySize:], p.data[leafEntryOff+(i+1)*leafEntrySize:leafEntryOff+n*leafEntrySize])
+			btSetNKeys(p, n-1)
+			return true, nil
+		default:
+			return false, fmt.Errorf("vstore: page %d has type %d, not a btree node", id, p.Type())
+		}
+	}
+}
+
+// btScan visits keys in [lo, hi] ascending. fn returning false stops the
+// scan early.
+func (db *DB) btScan(root PageID, lo, hi uint64, fn func(k, v uint64) (bool, error)) error {
+	if root == invalidPage {
+		return nil
+	}
+	// Descend to the leaf that could contain lo.
+	id := root
+	for {
+		p, err := db.pager.get(id)
+		if err != nil {
+			return err
+		}
+		if p.Type() == pageTypeLeaf {
+			break
+		}
+		if p.Type() != pageTypeInternal {
+			return fmt.Errorf("vstore: page %d has type %d, not a btree node", id, p.Type())
+		}
+		id = intChild(p, intSearch(p, lo))
+	}
+	for id != invalidPage {
+		p, err := db.pager.get(id)
+		if err != nil {
+			return err
+		}
+		n := btNKeys(p)
+		for i := leafSearch(p, lo); i < n; i++ {
+			k := leafKey(p, i)
+			if k > hi {
+				return nil
+			}
+			ok, err := fn(k, leafVal(p, i))
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+		}
+		id = p.Link()
+	}
+	return nil
+}
+
+// btCount returns the number of keys in [lo, hi].
+func (db *DB) btCount(root PageID, lo, hi uint64) (int, error) {
+	n := 0
+	err := db.btScan(root, lo, hi, func(_, _ uint64) (bool, error) {
+		n++
+		return true, nil
+	})
+	return n, err
+}

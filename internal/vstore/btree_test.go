@@ -1,0 +1,247 @@
+package vstore
+
+import (
+	"math/rand"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+// openTestDB creates a fresh DB in a temp dir.
+func openTestDB(t *testing.T, opts *Options) *DB {
+	t.Helper()
+	db, err := Open(filepath.Join(t.TempDir(), "test.db"), opts)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+// btHarness manages a root page through inserts for tests.
+type btHarness struct {
+	db   *DB
+	root PageID
+}
+
+func (h *btHarness) insert(t *testing.T, tx *Txn, k, v uint64, replace bool) {
+	t.Helper()
+	root, _, err := h.db.btInsert(tx, h.root, k, v, replace)
+	if err != nil {
+		t.Fatalf("insert %d: %v", k, err)
+	}
+	h.root = root
+}
+
+func TestBTreeInsertSearch(t *testing.T) {
+	db := openTestDB(t, nil)
+	h := &btHarness{db: db, root: invalidPage}
+	tx, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 5000 // forces multiple leaf and internal splits
+	rng := rand.New(rand.NewSource(42))
+	keys := rng.Perm(n)
+	for _, k := range keys {
+		h.insert(t, tx, uint64(k), uint64(k)*3, false)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		v, ok, err := db.btSearch(h.root, uint64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok || v != uint64(i)*3 {
+			t.Fatalf("key %d: ok=%v v=%d", i, ok, v)
+		}
+	}
+	if _, ok, _ := db.btSearch(h.root, uint64(n+10)); ok {
+		t.Error("found key that was never inserted")
+	}
+}
+
+func TestBTreeDuplicateKey(t *testing.T) {
+	db := openTestDB(t, nil)
+	h := &btHarness{db: db, root: invalidPage}
+	tx, _ := db.Begin()
+	h.insert(t, tx, 5, 50, false)
+	if _, _, err := db.btInsert(tx, h.root, 5, 51, false); err == nil {
+		t.Error("duplicate insert without replace should fail")
+	}
+	h.insert(t, tx, 5, 52, true)
+	v, ok, _ := db.btSearch(h.root, 5)
+	if !ok || v != 52 {
+		t.Errorf("replace failed: ok=%v v=%d", ok, v)
+	}
+	tx.Commit()
+}
+
+func TestBTreeScanOrderedAndBounded(t *testing.T) {
+	db := openTestDB(t, nil)
+	h := &btHarness{db: db, root: invalidPage}
+	tx, _ := db.Begin()
+	rng := rand.New(rand.NewSource(7))
+	inserted := make(map[uint64]bool)
+	for i := 0; i < 3000; i++ {
+		k := uint64(rng.Intn(10000))
+		if inserted[k] {
+			continue
+		}
+		inserted[k] = true
+		h.insert(t, tx, k, k, false)
+	}
+	tx.Commit()
+
+	var got []uint64
+	err := db.btScan(h.root, 100, 5000, func(k, v uint64) (bool, error) {
+		if k != v {
+			t.Fatalf("value mismatch at %d", k)
+		}
+		got = append(got, k)
+		return true, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []uint64
+	for k := range inserted {
+		if k >= 100 && k <= 5000 {
+			want = append(want, k)
+		}
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	if len(got) != len(want) {
+		t.Fatalf("scan returned %d keys, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("scan[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	// Early stop.
+	count := 0
+	db.btScan(h.root, 0, ^uint64(0), func(k, v uint64) (bool, error) {
+		count++
+		return count < 10, nil
+	})
+	if count != 10 {
+		t.Errorf("early stop visited %d", count)
+	}
+}
+
+func TestBTreeDelete(t *testing.T) {
+	db := openTestDB(t, nil)
+	h := &btHarness{db: db, root: invalidPage}
+	tx, _ := db.Begin()
+	const n = 2000
+	for i := 0; i < n; i++ {
+		h.insert(t, tx, uint64(i), uint64(i), false)
+	}
+	// Delete the odd keys.
+	for i := 1; i < n; i += 2 {
+		found, err := db.btDelete(tx, h.root, uint64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !found {
+			t.Fatalf("delete %d: not found", i)
+		}
+	}
+	tx.Commit()
+	for i := 0; i < n; i++ {
+		_, ok, _ := db.btSearch(h.root, uint64(i))
+		if (i%2 == 0) != ok {
+			t.Fatalf("key %d: present=%v", i, ok)
+		}
+	}
+	// Deleting a missing key reports false without error.
+	tx2, _ := db.Begin()
+	found, err := db.btDelete(tx2, h.root, 99999)
+	if err != nil || found {
+		t.Errorf("missing delete: found=%v err=%v", found, err)
+	}
+	tx2.Commit()
+}
+
+func TestBTreeMax(t *testing.T) {
+	db := openTestDB(t, nil)
+	h := &btHarness{db: db, root: invalidPage}
+	if _, ok, _ := db.btMax(h.root); ok {
+		t.Error("empty tree has no max")
+	}
+	tx, _ := db.Begin()
+	for _, k := range []uint64{10, 3, 99, 7} {
+		h.insert(t, tx, k, k, false)
+	}
+	tx.Commit()
+	max, ok, err := db.btMax(h.root)
+	if err != nil || !ok || max != 99 {
+		t.Errorf("max = %d ok=%v err=%v", max, ok, err)
+	}
+}
+
+// TestBTreeRandomOps cross-checks the tree against a map model through a
+// random interleaving of inserts, deletes and lookups.
+func TestBTreeRandomOps(t *testing.T) {
+	db := openTestDB(t, nil)
+	h := &btHarness{db: db, root: invalidPage}
+	model := make(map[uint64]uint64)
+	rng := rand.New(rand.NewSource(1234))
+	tx, _ := db.Begin()
+	for op := 0; op < 20000; op++ {
+		k := uint64(rng.Intn(3000))
+		switch rng.Intn(3) {
+		case 0: // upsert
+			v := uint64(rng.Int63())
+			root, _, err := db.btInsert(tx, h.root, k, v, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			h.root = root
+			model[k] = v
+		case 1: // delete
+			found, err := db.btDelete(tx, h.root, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, want := model[k]
+			if found != want {
+				t.Fatalf("delete %d: found=%v want=%v", k, found, want)
+			}
+			delete(model, k)
+		case 2: // lookup
+			v, ok, err := db.btSearch(h.root, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantV, want := model[k]
+			if ok != want || (ok && v != wantV) {
+				t.Fatalf("search %d: ok=%v v=%d, want ok=%v v=%d", k, ok, v, want, wantV)
+			}
+		}
+	}
+	tx.Commit()
+	// Final full-scan cross-check: ordered and complete.
+	var keys []uint64
+	prev := int64(-1)
+	err := db.btScan(h.root, 0, ^uint64(0), func(k, v uint64) (bool, error) {
+		if int64(k) <= prev {
+			t.Fatalf("scan out of order at %d", k)
+		}
+		prev = int64(k)
+		if model[k] != v {
+			t.Fatalf("scan value mismatch at %d", k)
+		}
+		keys = append(keys, k)
+		return true, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != len(model) {
+		t.Fatalf("scan found %d keys, model has %d", len(keys), len(model))
+	}
+}

@@ -1,0 +1,465 @@
+package vstore
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Meta page layout after the common header:
+//
+//	[16:20) magic "VSTR"
+//	[20:24) format version
+//	[24:28) free-list head page
+//	[28:32) catalog blob first page
+//	[32:40) catalog blob length
+const (
+	metaMagic   = 0x56535452 // "VSTR"
+	metaVersion = 1
+
+	offMetaMagic   = 16
+	offMetaVersion = 20
+	offMetaFree    = 24
+	offMetaCatalog = 28
+	offMetaCatLen  = 32
+)
+
+// ErrClosed is returned by operations on a closed DB.
+var ErrClosed = errors.New("vstore: database closed")
+
+// ErrTxnDone is returned when a finished transaction is reused.
+var ErrTxnDone = errors.New("vstore: transaction already finished")
+
+// Options tunes a DB instance.
+type Options struct {
+	// CachePages bounds the buffer pool; <= 0 selects DefaultCachePages.
+	CachePages int
+	// NoWALSync skips fsync on commit. Crash safety is lost; useful only
+	// for benchmarks isolating fsync cost.
+	NoWALSync bool
+}
+
+// Stats carries cumulative operation counters for benchmarks and tests.
+type Stats struct {
+	PageReads   uint64
+	PageWrites  uint64
+	WALRecords  uint64
+	Commits     uint64
+	Aborts      uint64
+	Recovered   int // committed txns replayed at open
+	Checkpoints uint64
+}
+
+// DB is a single-file embedded database with a write-ahead log.
+type DB struct {
+	mu     sync.RWMutex
+	pager  *pager
+	wal    *wal
+	path   string
+	opts   Options
+	closed bool
+
+	catalog  catalogData
+	tables   map[string]*Table
+	nextTxn  uint64
+	activeTx *Txn
+
+	stats Stats
+}
+
+// catalogData is the persisted table registry.
+type catalogData struct {
+	Tables map[string]*tableMeta `json:"tables"`
+}
+
+// tableMeta is the persisted per-table state.
+type tableMeta struct {
+	Schema   Schema            `json:"schema"`
+	PKRoot   PageID            `json:"pk_root"`
+	Indexes  map[string]PageID `json:"indexes"` // index name -> btree root
+	LastHeap PageID            `json:"last_heap"`
+}
+
+// Open opens (or creates) the database at path. The write-ahead log lives
+// at path + ".wal". Crash recovery runs before any page is served.
+func Open(path string, opts *Options) (*DB, error) {
+	var o Options
+	if opts != nil {
+		o = *opts
+	}
+	pg, err := openPager(path, o.CachePages)
+	if err != nil {
+		return nil, err
+	}
+	w, err := openWAL(path + ".wal")
+	if err != nil {
+		pg.close()
+		return nil, err
+	}
+	db := &DB{
+		pager:  pg,
+		wal:    w,
+		path:   path,
+		opts:   o,
+		tables: make(map[string]*Table),
+	}
+	if err := db.recover(); err != nil {
+		db.closeFiles()
+		return nil, err
+	}
+	if err := db.bootstrap(); err != nil {
+		db.closeFiles()
+		return nil, err
+	}
+	return db, nil
+}
+
+// recover replays committed transactions from the WAL into the data file,
+// then truncates the log.
+func (db *DB) recover() error {
+	recs, err := readWAL(db.wal.f)
+	if err != nil {
+		return err
+	}
+	if len(recs) == 0 {
+		return nil
+	}
+	committed := make(map[uint64]bool)
+	for _, r := range recs {
+		if r.kind == walKindCommit {
+			committed[r.txnID] = true
+		}
+	}
+	replayed := make(map[uint64]bool)
+	for _, r := range recs {
+		if r.kind != walKindPageImage || !committed[r.txnID] {
+			continue
+		}
+		if err := db.pager.writeRaw(r.pageID, r.image); err != nil {
+			return err
+		}
+		replayed[r.txnID] = true
+	}
+	if err := db.pager.f.Sync(); err != nil {
+		return fmt.Errorf("vstore: sync after recovery: %w", err)
+	}
+	db.stats.Recovered = len(replayed)
+	return db.wal.truncate()
+}
+
+// bootstrap loads (or initialises) the meta page and catalog.
+func (db *DB) bootstrap() error {
+	if db.pager.pageCount == 0 {
+		// Fresh database: create the meta page and an empty catalog.
+		meta, err := db.pager.allocate()
+		if err != nil {
+			return err
+		}
+		meta.SetType(pageTypeMeta)
+		binary.BigEndian.PutUint32(meta.data[offMetaMagic:], metaMagic)
+		binary.BigEndian.PutUint32(meta.data[offMetaVersion:], metaVersion)
+		meta.MarkDirty()
+		db.catalog = catalogData{Tables: make(map[string]*tableMeta)}
+		if err := db.pager.flushAll(); err != nil {
+			return err
+		}
+		return nil
+	}
+	meta, err := db.pager.get(0)
+	if err != nil {
+		return err
+	}
+	if binary.BigEndian.Uint32(meta.data[offMetaMagic:]) != metaMagic {
+		return fmt.Errorf("vstore: %s is not a vstore database", db.path)
+	}
+	if v := binary.BigEndian.Uint32(meta.data[offMetaVersion:]); v != metaVersion {
+		return fmt.Errorf("vstore: unsupported format version %d", v)
+	}
+	catPage := PageID(binary.BigEndian.Uint32(meta.data[offMetaCatalog:]))
+	catLen := binary.BigEndian.Uint64(meta.data[offMetaCatLen:])
+	db.catalog = catalogData{Tables: make(map[string]*tableMeta)}
+	if catPage != invalidPage {
+		raw, err := db.readBlobChain(catPage, int64(catLen))
+		if err != nil {
+			return fmt.Errorf("vstore: read catalog: %w", err)
+		}
+		if err := json.Unmarshal(raw, &db.catalog); err != nil {
+			return fmt.Errorf("vstore: decode catalog: %w", err)
+		}
+		if db.catalog.Tables == nil {
+			db.catalog.Tables = make(map[string]*tableMeta)
+		}
+	}
+	for name, tm := range db.catalog.Tables {
+		db.tables[name] = newTable(db, name, tm)
+	}
+	return nil
+}
+
+func (db *DB) closeFiles() {
+	db.wal.close()
+	db.pager.close()
+}
+
+// Close checkpoints and closes the database. It fails if a transaction is
+// still active.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil
+	}
+	if db.activeTx != nil {
+		return errors.New("vstore: close with active transaction")
+	}
+	if err := db.checkpointLocked(); err != nil {
+		return err
+	}
+	db.closed = true
+	db.closeFiles()
+	return nil
+}
+
+// SimulateCrash abandons the database without flushing dirty pages or
+// checkpointing, as a process kill would. It deliberately takes no lock so
+// it can fire while a transaction is open (the interesting crash case);
+// like a real crash it must not race with operations on other goroutines.
+// The DB is unusable afterwards. Intended for recovery tests.
+func (db *DB) SimulateCrash() {
+	if db.closed {
+		return
+	}
+	db.closed = true
+	db.activeTx = nil
+	db.closeFiles()
+}
+
+// Checkpoint flushes all dirty pages to the data file and truncates the
+// WAL.
+func (db *DB) Checkpoint() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	if db.activeTx != nil {
+		return errors.New("vstore: checkpoint with active transaction")
+	}
+	return db.checkpointLocked()
+}
+
+func (db *DB) checkpointLocked() error {
+	if err := db.pager.flushAll(); err != nil {
+		return err
+	}
+	if err := db.wal.truncate(); err != nil {
+		return err
+	}
+	db.stats.Checkpoints++
+	return nil
+}
+
+// Stats returns a snapshot of the operation counters.
+func (db *DB) Stats() Stats {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.stats
+}
+
+// Path returns the data file path.
+func (db *DB) Path() string { return db.path }
+
+// TableNames lists the catalogued tables in sorted order.
+func (db *DB) TableNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Txn is a read-write transaction. vstore runs a single writer at a time:
+// Begin blocks until the previous transaction finishes.
+type Txn struct {
+	db     *DB
+	id     uint64
+	before map[PageID]beforeImage
+	done   bool
+}
+
+type beforeImage struct {
+	data     []byte
+	wasDirty bool
+}
+
+// Begin starts a read-write transaction, taking the writer lock.
+func (db *DB) Begin() (*Txn, error) {
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return nil, ErrClosed
+	}
+	db.nextTxn++
+	tx := &Txn{db: db, id: db.nextTxn, before: make(map[PageID]beforeImage)}
+	db.activeTx = tx
+	return tx, nil
+}
+
+// touch records the page's before-image once per transaction, pins it
+// against eviction and marks it dirty. Every mutation must go through
+// touch before writing page bytes.
+func (tx *Txn) touch(p *Page) {
+	if _, ok := tx.before[p.id]; !ok {
+		img := make([]byte, PageSize)
+		copy(img, p.data)
+		tx.before[p.id] = beforeImage{data: img, wasDirty: p.dirty}
+		p.pins++
+	}
+	p.dirty = true
+}
+
+// Commit logs after-images of every touched page, appends a commit record,
+// syncs the WAL and releases the writer lock.
+func (tx *Txn) Commit() error {
+	if tx.done {
+		return ErrTxnDone
+	}
+	db := tx.db
+	defer db.mu.Unlock()
+	tx.done = true
+	db.activeTx = nil
+
+	ids := make([]PageID, 0, len(tx.before))
+	for id := range tx.before {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		p, err := db.pager.get(id)
+		if err != nil {
+			return fmt.Errorf("vstore: commit: %w", err)
+		}
+		p.pins--
+		if !p.dirty {
+			continue
+		}
+		lsn, err := db.wal.appendRecord(tx.id, walKindPageImage, id, p.data)
+		if err != nil {
+			return err
+		}
+		p.SetLSN(lsn)
+		db.stats.WALRecords++
+	}
+	if _, err := db.wal.appendRecord(tx.id, walKindCommit, 0, nil); err != nil {
+		return err
+	}
+	db.stats.WALRecords++
+	if !db.opts.NoWALSync {
+		if err := db.wal.sync(); err != nil {
+			return err
+		}
+	}
+	db.stats.Commits++
+	return nil
+}
+
+// Abort restores every touched page's before-image and releases the
+// writer lock. Pages allocated by the transaction become unreachable file
+// garbage until the next reuse; this is a deliberate simplification.
+func (tx *Txn) Abort() {
+	if tx.done {
+		return
+	}
+	db := tx.db
+	defer db.mu.Unlock()
+	tx.done = true
+	db.activeTx = nil
+	for id, img := range tx.before {
+		p, err := db.pager.get(id)
+		if err != nil {
+			continue // page fell out of cache unmodified on disk; nothing to undo
+		}
+		copy(p.data, img.data)
+		p.dirty = img.wasDirty
+		p.pins--
+	}
+	db.stats.Aborts++
+}
+
+// allocPage hands out a page: from the free list if possible, otherwise by
+// extending the file. The page is touched under tx.
+func (db *DB) allocPage(tx *Txn) (*Page, error) {
+	meta, err := db.pager.get(0)
+	if err != nil {
+		return nil, err
+	}
+	freeHead := PageID(binary.BigEndian.Uint32(meta.data[offMetaFree:]))
+	if freeHead != invalidPage {
+		p, err := db.pager.get(freeHead)
+		if err != nil {
+			return nil, err
+		}
+		tx.touch(meta)
+		binary.BigEndian.PutUint32(meta.data[offMetaFree:], uint32(p.Link()))
+		tx.touch(p)
+		for i := range p.data {
+			p.data[i] = 0
+		}
+		return p, nil
+	}
+	p, err := db.pager.allocate()
+	if err != nil {
+		return nil, err
+	}
+	tx.touch(p)
+	return p, nil
+}
+
+// freePage pushes a page onto the free list.
+func (db *DB) freePage(tx *Txn, p *Page) error {
+	meta, err := db.pager.get(0)
+	if err != nil {
+		return err
+	}
+	tx.touch(p)
+	for i := range p.data {
+		p.data[i] = 0
+	}
+	p.SetType(pageTypeFree)
+	p.SetLink(PageID(binary.BigEndian.Uint32(meta.data[offMetaFree:])))
+	tx.touch(meta)
+	binary.BigEndian.PutUint32(meta.data[offMetaFree:], uint32(p.id))
+	return nil
+}
+
+// persistCatalog rewrites the catalog blob and points the meta page at it.
+func (db *DB) persistCatalog(tx *Txn) error {
+	raw, err := json.Marshal(&db.catalog)
+	if err != nil {
+		return fmt.Errorf("vstore: encode catalog: %w", err)
+	}
+	meta, err := db.pager.get(0)
+	if err != nil {
+		return err
+	}
+	oldPage := PageID(binary.BigEndian.Uint32(meta.data[offMetaCatalog:]))
+	first, err := db.writeBlobChain(tx, raw)
+	if err != nil {
+		return err
+	}
+	tx.touch(meta)
+	binary.BigEndian.PutUint32(meta.data[offMetaCatalog:], uint32(first))
+	binary.BigEndian.PutUint64(meta.data[offMetaCatLen:], uint64(len(raw)))
+	if oldPage != invalidPage {
+		if err := db.freeBlobChain(tx, oldPage); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,167 @@
+package vstore
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func newTestPage() *Page {
+	p := &Page{id: 7, data: make([]byte, PageSize)}
+	initSlotted(p)
+	return p
+}
+
+func TestSlottedInsertGet(t *testing.T) {
+	p := newTestPage()
+	recs := [][]byte{[]byte("alpha"), []byte("bravo-longer"), {}, []byte("charlie")}
+	slots := make([]int, len(recs))
+	for i, r := range recs {
+		s, err := p.slottedInsert(r)
+		if err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+		slots[i] = s
+	}
+	for i, r := range recs {
+		got, err := p.slottedGet(slots[i])
+		if err != nil {
+			t.Fatalf("get %d: %v", i, err)
+		}
+		if !bytes.Equal(got, r) {
+			t.Errorf("slot %d: got %q want %q", slots[i], got, r)
+		}
+	}
+}
+
+func TestSlottedDeleteReuse(t *testing.T) {
+	p := newTestPage()
+	s0, _ := p.slottedInsert([]byte("one"))
+	s1, err := p.slottedInsert([]byte("two"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty, err := p.slottedDelete(s0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty {
+		t.Error("page reported empty with a live record")
+	}
+	// Reinsert reuses the dead slot.
+	s2, err := p.slottedInsert([]byte("three"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2 != s0 {
+		t.Errorf("expected dead slot %d reuse, got %d", s0, s2)
+	}
+	if _, err := p.slottedGet(s0); err != nil {
+		t.Errorf("reused slot unreadable: %v", err)
+	}
+	empty, err = p.slottedDelete(s1)
+	if err != nil || empty {
+		t.Fatalf("delete s1: empty=%v err=%v", empty, err)
+	}
+	empty, err = p.slottedDelete(s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !empty {
+		t.Error("page should be empty after deleting all records")
+	}
+}
+
+func TestSlottedDeleteErrors(t *testing.T) {
+	p := newTestPage()
+	if _, err := p.slottedDelete(0); err == nil {
+		t.Error("delete of missing slot should fail")
+	}
+	s, _ := p.slottedInsert([]byte("x"))
+	if _, err := p.slottedDelete(s); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.slottedDelete(s); err == nil {
+		t.Error("double delete should fail")
+	}
+	if _, err := p.slottedGet(s); err == nil {
+		t.Error("get of dead slot should fail")
+	}
+	if _, err := p.slottedGet(99); err == nil {
+		t.Error("get of out-of-range slot should fail")
+	}
+}
+
+func TestSlottedFillsAndReportsFull(t *testing.T) {
+	p := newTestPage()
+	rec := make([]byte, 100)
+	n := 0
+	for {
+		if p.slottedFree() < len(rec) {
+			break
+		}
+		if _, err := p.slottedInsert(rec); err != nil {
+			t.Fatalf("insert %d claimed free space but failed: %v", n, err)
+		}
+		n++
+	}
+	if n < (PageSize-offSlots)/(100+slotSize)-1 {
+		t.Errorf("only %d records fit", n)
+	}
+	if _, err := p.slottedInsert(make([]byte, 200)); err == nil {
+		t.Error("insert into full page should fail")
+	}
+}
+
+func TestSlottedCompactionReclaimsHoles(t *testing.T) {
+	p := newTestPage()
+	var slots []int
+	rec := make([]byte, 200)
+	for p.slottedFree() >= len(rec) {
+		s, err := p.slottedInsert(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slots = append(slots, s)
+	}
+	// Free every other record, leaving holes.
+	kept := make(map[int][]byte)
+	for i, s := range slots {
+		if i%2 == 0 {
+			if _, err := p.slottedDelete(s); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			data, _ := p.slottedGet(s)
+			cp := make([]byte, len(data))
+			copy(cp, data)
+			rand.New(rand.NewSource(int64(i))).Read(cp)
+			// Write a distinct pattern through the page to catch
+			// compaction corruption.
+			live, _ := p.slottedGet(s)
+			copy(live, cp)
+			kept[s] = cp
+		}
+	}
+	// This insert only fits after compaction gathers the holes.
+	big := make([]byte, 600)
+	if _, err := p.slottedInsert(big); err != nil {
+		t.Fatalf("insert after holes: %v", err)
+	}
+	for s, want := range kept {
+		got, err := p.slottedGet(s)
+		if err != nil {
+			t.Fatalf("slot %d after compaction: %v", s, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("slot %d corrupted by compaction", s)
+		}
+	}
+}
+
+func TestRecordTooLarge(t *testing.T) {
+	p := newTestPage()
+	if _, err := p.slottedInsert(make([]byte, maxRecordSize+1)); err == nil {
+		t.Error("oversized record should be rejected")
+	}
+}

@@ -1,0 +1,166 @@
+package vstore
+
+import (
+	"container/list"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// DefaultCachePages is the default buffer-pool capacity.
+const DefaultCachePages = 1024
+
+// pager manages the data file and the buffer pool. Page *contents* are
+// protected by the DB's RWMutex (writers are exclusive); the buffer-pool
+// bookkeeping (cache map, LRU list, dirty flags) is additionally guarded
+// by its own mutex because concurrent readers both touch the LRU.
+type pager struct {
+	f *os.File
+
+	mu        sync.Mutex
+	pageCount PageID // pages in the file (including meta page 0)
+	cacheCap  int
+	cache     map[PageID]*list.Element // -> *Page
+	lru       *list.List               // front = most recently used
+}
+
+func openPager(path string, cacheCap int) (*pager, error) {
+	if cacheCap <= 0 {
+		cacheCap = DefaultCachePages
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("vstore: open data file: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("vstore: stat data file: %w", err)
+	}
+	if st.Size()%PageSize != 0 {
+		f.Close()
+		return nil, fmt.Errorf("vstore: data file size %d not page aligned", st.Size())
+	}
+	return &pager{
+		f:         f,
+		pageCount: PageID(st.Size() / PageSize),
+		cacheCap:  cacheCap,
+		cache:     make(map[PageID]*list.Element),
+		lru:       list.New(),
+	}, nil
+}
+
+func (pg *pager) close() error {
+	if pg.f == nil {
+		return nil
+	}
+	err := pg.f.Close()
+	pg.f = nil
+	return err
+}
+
+// get returns the page, reading it from disk on a cache miss. The page
+// stays valid until evicted; callers holding pages across eviction points
+// must pin them.
+func (pg *pager) get(id PageID) (*Page, error) {
+	pg.mu.Lock()
+	defer pg.mu.Unlock()
+	if el, ok := pg.cache[id]; ok {
+		pg.lru.MoveToFront(el)
+		return el.Value.(*Page), nil
+	}
+	if id >= pg.pageCount {
+		return nil, fmt.Errorf("vstore: page %d beyond file end (%d pages)", id, pg.pageCount)
+	}
+	p := &Page{id: id, data: make([]byte, PageSize)}
+	if _, err := pg.f.ReadAt(p.data, int64(id)*PageSize); err != nil {
+		return nil, fmt.Errorf("vstore: read page %d: %w", id, err)
+	}
+	pg.insertCache(p)
+	return p, nil
+}
+
+// allocate extends the file (or reuses nothing — free-list reuse is the
+// DB's job) and returns a zeroed in-cache page.
+func (pg *pager) allocate() (*Page, error) {
+	pg.mu.Lock()
+	defer pg.mu.Unlock()
+	id := pg.pageCount
+	pg.pageCount++
+	p := &Page{id: id, data: make([]byte, PageSize), dirty: true}
+	if err := pg.writePage(p); err != nil {
+		return nil, err
+	}
+	pg.insertCache(p)
+	return p, nil
+}
+
+func (pg *pager) insertCache(p *Page) {
+	el := pg.lru.PushFront(p)
+	pg.cache[p.id] = el
+	for pg.lru.Len() > pg.cacheCap {
+		back := pg.lru.Back()
+		victim := back.Value.(*Page)
+		if victim.pins > 0 {
+			// Move a pinned victim to the front and stop evicting this
+			// round; with sane cache sizes pins are transient.
+			pg.lru.MoveToFront(back)
+			break
+		}
+		if victim.dirty {
+			// WAL-before-data is guaranteed by the commit protocol: all
+			// dirty pages were logged and the WAL synced at commit time.
+			if err := pg.writePage(victim); err != nil {
+				// Keep the page cached rather than lose the write.
+				pg.lru.MoveToFront(back)
+				break
+			}
+		}
+		pg.lru.Remove(back)
+		delete(pg.cache, victim.id)
+	}
+}
+
+// writePage writes the page image at its slot and clears the dirty flag.
+func (pg *pager) writePage(p *Page) error {
+	if _, err := pg.f.WriteAt(p.data, int64(p.id)*PageSize); err != nil {
+		return fmt.Errorf("vstore: write page %d: %w", p.id, err)
+	}
+	p.dirty = false
+	return nil
+}
+
+// flushAll writes every dirty cached page and fsyncs the data file.
+func (pg *pager) flushAll() error {
+	pg.mu.Lock()
+	defer pg.mu.Unlock()
+	for el := pg.lru.Front(); el != nil; el = el.Next() {
+		p := el.Value.(*Page)
+		if p.dirty {
+			if err := pg.writePage(p); err != nil {
+				return err
+			}
+		}
+	}
+	if err := pg.f.Sync(); err != nil {
+		return fmt.Errorf("vstore: sync data file: %w", err)
+	}
+	return nil
+}
+
+// writeRaw writes an arbitrary page image directly to the file, extending
+// it if needed (recovery path; the cache must be cold).
+func (pg *pager) writeRaw(id PageID, image []byte) error {
+	pg.mu.Lock()
+	defer pg.mu.Unlock()
+	if len(image) != PageSize {
+		return fmt.Errorf("vstore: raw image wrong size %d", len(image))
+	}
+	if _, err := pg.f.WriteAt(image, int64(id)*PageSize); err != nil {
+		return fmt.Errorf("vstore: recover page %d: %w", id, err)
+	}
+	if id >= pg.pageCount {
+		pg.pageCount = id + 1
+	}
+	return nil
+}

@@ -1,0 +1,316 @@
+package vstore
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRecoveryCommittedSurvivesCrash: committed data must be recovered
+// from the WAL even though no page was flushed to the data file.
+func TestRecoveryCommittedSurvivesCrash(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.db")
+	db, err := Open(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, _ := db.Begin()
+	tbl, err := db.CreateTable(tx, testSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pks []int64
+	for i := 0; i < 50; i++ {
+		pk, err := tbl.Insert(tx, sampleRow(0, fmt.Sprintf("crash-%d", i), int64(i%200), bytes.Repeat([]byte{byte(i)}, 5000)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pks = append(pks, pk)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	db.SimulateCrash()
+
+	db2, err := Open(path, nil)
+	if err != nil {
+		t.Fatalf("reopen after crash: %v", err)
+	}
+	defer db2.Close()
+	if db2.Stats().Recovered == 0 {
+		t.Error("expected WAL replay on reopen")
+	}
+	tbl2, err := db2.Table("T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pk := range pks {
+		row, ok, err := tbl2.Get(nil, pk)
+		if err != nil || !ok {
+			t.Fatalf("row %d lost in crash: ok=%v err=%v", pk, ok, err)
+		}
+		b, err := db2.ReadBlob(nil, row[4].Blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(b) != 5000 || b[0] != byte(i) {
+			t.Fatalf("blob %d corrupted after recovery", pk)
+		}
+	}
+}
+
+// TestRecoveryUncommittedLost: work in a transaction that never committed
+// must vanish after a crash.
+func TestRecoveryUncommittedLost(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "u.db")
+	db, err := Open(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Committed baseline.
+	tx, _ := db.Begin()
+	tbl, _ := db.CreateTable(tx, testSchema())
+	pk1, _ := tbl.Insert(tx, sampleRow(0, "base", 1, nil))
+	tx.Commit()
+
+	// Uncommitted work, then crash.
+	tx2, _ := db.Begin()
+	if _, err := tbl.Insert(tx2, sampleRow(0, "phantom", 2, nil)); err != nil {
+		t.Fatal(err)
+	}
+	db.SimulateCrash()
+
+	db2, err := Open(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	tbl2, _ := db2.Table("T")
+	n, err := tbl2.Count(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("count after crash = %d, want 1 (phantom must be lost)", n)
+	}
+	if _, ok, _ := tbl2.Get(nil, pk1); !ok {
+		t.Error("committed baseline lost")
+	}
+}
+
+// TestRecoveryTornTail: garbage appended to the WAL (torn final record)
+// must not break recovery of earlier committed work.
+func TestRecoveryTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.db")
+	db, err := Open(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, _ := db.Begin()
+	tbl, _ := db.CreateTable(tx, testSchema())
+	pk, _ := tbl.Insert(tx, sampleRow(0, "good", 1, nil))
+	tx.Commit()
+	db.SimulateCrash()
+
+	// Append garbage simulating a torn write.
+	wf, err := os.OpenFile(path+".wal", os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wf.Write([]byte{0x00, 0x00, 0x01, 0x99, 0xde, 0xad, 0xbe})
+	wf.Close()
+
+	db2, err := Open(path, nil)
+	if err != nil {
+		t.Fatalf("reopen with torn WAL: %v", err)
+	}
+	defer db2.Close()
+	tbl2, _ := db2.Table("T")
+	if _, ok, _ := tbl2.Get(nil, pk); !ok {
+		t.Error("committed row lost to torn tail")
+	}
+}
+
+// TestAbortRestoresState: an aborted transaction leaves no trace, and the
+// next transaction sees the pre-abort state.
+func TestAbortRestoresState(t *testing.T) {
+	db := openTestDB(t, nil)
+	tbl := createTestTable(t, db)
+	tx, _ := db.Begin()
+	pk, _ := tbl.Insert(tx, sampleRow(0, "kept", 5, []byte("kept-blob")))
+	tx.Commit()
+
+	tx2, _ := db.Begin()
+	if _, err := tbl.Insert(tx2, sampleRow(0, "aborted", 6, []byte("aborted-blob"))); err != nil {
+		t.Fatal(err)
+	}
+	row, _, _ := tbl.Get(tx2, pk)
+	row[1] = Text("mutated")
+	if err := tbl.Update(tx2, pk, row); err != nil {
+		t.Fatal(err)
+	}
+	tx2.Abort()
+
+	got, ok, err := tbl.Get(nil, pk)
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	if got[1].Str != "kept" {
+		t.Errorf("abort did not restore name: %q", got[1].Str)
+	}
+	n, _ := tbl.Count(nil)
+	if n != 1 {
+		t.Errorf("count after abort = %d, want 1", n)
+	}
+	// The store remains fully usable.
+	tx3, _ := db.Begin()
+	pk3, err := tbl.Insert(tx3, sampleRow(0, "after-abort", 7, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx3.Commit()
+	if _, ok, _ := tbl.Get(nil, pk3); !ok {
+		t.Error("insert after abort lost")
+	}
+}
+
+// TestCheckpointTruncatesWAL: after a checkpoint the WAL is empty and the
+// data survives reopen without replay.
+func TestCheckpointTruncatesWAL(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.db")
+	db, err := Open(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, _ := db.Begin()
+	tbl, _ := db.CreateTable(tx, testSchema())
+	pk, _ := tbl.Insert(tx, sampleRow(0, "ck", 1, nil))
+	tx.Commit()
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := os.Stat(path + ".wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() != 0 {
+		t.Errorf("WAL size after checkpoint = %d, want 0", st.Size())
+	}
+	db.SimulateCrash() // no WAL to replay; data file must be complete
+
+	db2, err := Open(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if db2.Stats().Recovered != 0 {
+		t.Errorf("unexpected replay after checkpoint: %d", db2.Stats().Recovered)
+	}
+	tbl2, _ := db2.Table("T")
+	if _, ok, _ := tbl2.Get(nil, pk); !ok {
+		t.Error("checkpointed row lost")
+	}
+}
+
+// TestCrashMidStreamOfCommits: several committed transactions, crash, all
+// must be present; page reuse via free list must not corrupt recovery.
+func TestCrashMidStreamOfCommits(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.db")
+	db, err := Open(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, _ := db.Begin()
+	tbl, _ := db.CreateTable(tx, testSchema())
+	tx.Commit()
+
+	var alive []int64
+	for round := 0; round < 10; round++ {
+		tx, _ := db.Begin()
+		pk, err := tbl.Insert(tx, sampleRow(0, fmt.Sprintf("round-%d", round), int64(round), bytes.Repeat([]byte{byte(round)}, 3000)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		alive = append(alive, pk)
+		// Periodically delete an older row to churn the free list.
+		if round%3 == 2 && len(alive) > 2 {
+			victim := alive[0]
+			alive = alive[1:]
+			if _, err := tbl.Delete(tx, victim); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.SimulateCrash()
+
+	db2, err := Open(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	tbl2, _ := db2.Table("T")
+	n, _ := tbl2.Count(nil)
+	if n != len(alive) {
+		t.Errorf("count = %d, want %d", n, len(alive))
+	}
+	for _, pk := range alive {
+		row, ok, err := tbl2.Get(nil, pk)
+		if err != nil || !ok {
+			t.Fatalf("row %d lost: ok=%v err=%v", pk, ok, err)
+		}
+		if _, err := db2.ReadBlob(nil, row[4].Blob); err != nil {
+			t.Fatalf("blob of %d unreadable: %v", pk, err)
+		}
+	}
+}
+
+// TestSmallCacheEvictionCorrectness: a tiny buffer pool forces eviction
+// during transactions; pinning must keep correctness.
+func TestSmallCacheEvictionCorrectness(t *testing.T) {
+	db := openTestDB(t, &Options{CachePages: 8})
+	tbl := createTestTable(t, db)
+	var pks []int64
+	for round := 0; round < 20; round++ {
+		tx, _ := db.Begin()
+		pk, err := tbl.Insert(tx, sampleRow(0, fmt.Sprintf("ev-%d", round), int64(round%200), bytes.Repeat([]byte{byte(round)}, 9000)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		pks = append(pks, pk)
+	}
+	for i, pk := range pks {
+		row, ok, err := tbl.Get(nil, pk)
+		if err != nil || !ok {
+			t.Fatalf("row %d: ok=%v err=%v", pk, ok, err)
+		}
+		b, err := db.ReadBlob(nil, row[4].Blob)
+		if err != nil || len(b) != 9000 || b[0] != byte(i) {
+			t.Fatalf("blob %d wrong under eviction pressure", pk)
+		}
+	}
+}
+
+func TestBeginAfterClose(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.db")
+	db, err := Open(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Begin(); err != ErrClosed {
+		t.Errorf("Begin after close: %v", err)
+	}
+	if err := db.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+}

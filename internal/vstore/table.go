@@ -1,0 +1,580 @@
+package vstore
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Column declares one table column.
+type Column struct {
+	Name    string  `json:"name"`
+	Type    ColType `json:"type"`
+	NotNull bool    `json:"not_null,omitempty"`
+}
+
+// IndexSpec declares a secondary index over small-integer columns. Each
+// indexed column must be INT64 NOT NULL with values in [0,255]; the packed
+// key is col0<<56 | col1<<48 | col2<<40 | pk (pk must fit 40 bits). That
+// is exactly what the CBVR range index needs for (MIN, MAX) and keeps keys
+// inside the B+tree's fixed-width uint64 format.
+type IndexSpec struct {
+	Name string   `json:"name"`
+	Cols []string `json:"cols"`
+}
+
+// maxIndexCols bounds the packed-key column count.
+const maxIndexCols = 3
+
+// maxIndexPK is the largest primary key representable in a packed index
+// key (40 bits).
+const maxIndexPK = int64(1)<<40 - 1
+
+// Schema declares a table. The first column is always the INT64 primary
+// key; inserts may pass a NULL primary key to have one assigned.
+type Schema struct {
+	Name    string      `json:"name"`
+	Cols    []Column    `json:"cols"`
+	Indexes []IndexSpec `json:"indexes,omitempty"`
+}
+
+// validate checks structural invariants.
+func (s *Schema) validate() error {
+	if s.Name == "" {
+		return errors.New("vstore: schema needs a name")
+	}
+	if len(s.Cols) == 0 {
+		return fmt.Errorf("vstore: table %q needs columns", s.Name)
+	}
+	if s.Cols[0].Type != TypeInt64 {
+		return fmt.Errorf("vstore: table %q primary key column %q must be INT64", s.Name, s.Cols[0].Name)
+	}
+	seen := make(map[string]int, len(s.Cols))
+	for i, c := range s.Cols {
+		if c.Name == "" {
+			return fmt.Errorf("vstore: table %q column %d unnamed", s.Name, i)
+		}
+		if _, dup := seen[c.Name]; dup {
+			return fmt.Errorf("vstore: table %q duplicate column %q", s.Name, c.Name)
+		}
+		seen[c.Name] = i
+	}
+	for _, ix := range s.Indexes {
+		if ix.Name == "" {
+			return fmt.Errorf("vstore: table %q has unnamed index", s.Name)
+		}
+		if len(ix.Cols) == 0 || len(ix.Cols) > maxIndexCols {
+			return fmt.Errorf("vstore: index %q wants 1..%d columns", ix.Name, maxIndexCols)
+		}
+		for _, cn := range ix.Cols {
+			ci, ok := seen[cn]
+			if !ok {
+				return fmt.Errorf("vstore: index %q references unknown column %q", ix.Name, cn)
+			}
+			if s.Cols[ci].Type != TypeInt64 || !s.Cols[ci].NotNull {
+				return fmt.Errorf("vstore: index %q column %q must be INT64 NOT NULL", ix.Name, cn)
+			}
+		}
+	}
+	return nil
+}
+
+// ColIndex returns the position of a column, or -1.
+func (s *Schema) ColIndex(name string) int {
+	for i, c := range s.Cols {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Table provides typed row access over the heap and its indexes.
+type Table struct {
+	db   *DB
+	name string
+	meta *tableMeta
+}
+
+func newTable(db *DB, name string, tm *tableMeta) *Table {
+	return &Table{db: db, name: name, meta: tm}
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Schema returns a copy of the table's schema.
+func (t *Table) Schema() Schema { return t.meta.Schema }
+
+// CreateTable registers a new table inside the transaction.
+func (db *DB) CreateTable(tx *Txn, s Schema) (*Table, error) {
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	if _, exists := db.catalog.Tables[s.Name]; exists {
+		return nil, fmt.Errorf("vstore: table %q already exists", s.Name)
+	}
+	tm := &tableMeta{Schema: s, Indexes: make(map[string]PageID)}
+	for _, ix := range s.Indexes {
+		tm.Indexes[ix.Name] = invalidPage
+	}
+	db.catalog.Tables[s.Name] = tm
+	if err := db.persistCatalog(tx); err != nil {
+		delete(db.catalog.Tables, s.Name)
+		return nil, err
+	}
+	t := newTable(db, s.Name, tm)
+	db.tables[s.Name] = t
+	return t, nil
+}
+
+// Table returns a handle to an existing table.
+func (db *DB) Table(name string) (*Table, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("vstore: no table %q", name)
+	}
+	return t, nil
+}
+
+// NextPK returns the next unused primary key (max existing + 1).
+func (t *Table) NextPK(tx *Txn) (int64, error) {
+	unlock := t.rlockIfNeeded(tx)
+	defer unlock()
+	max, ok, err := t.db.btMax(t.meta.PKRoot)
+	if err != nil {
+		return 0, err
+	}
+	if !ok {
+		return 1, nil
+	}
+	return int64(max) + 1, nil
+}
+
+// rlockIfNeeded takes the DB read lock for tx == nil calls and returns the
+// matching unlock; inside a transaction the writer lock is already held.
+func (t *Table) rlockIfNeeded(tx *Txn) func() {
+	if tx != nil {
+		return func() {}
+	}
+	t.db.mu.RLock()
+	return t.db.mu.RUnlock
+}
+
+// Insert adds a row and returns its primary key. A NULL first column
+// requests auto-assignment. BLOB values are written out-of-row first.
+func (t *Table) Insert(tx *Txn, row []Value) (int64, error) {
+	if tx == nil {
+		return 0, errors.New("vstore: Insert requires a transaction")
+	}
+	schema := &t.meta.Schema
+	if len(row) != len(schema.Cols) {
+		return 0, fmt.Errorf("vstore: row has %d values, want %d", len(row), len(schema.Cols))
+	}
+	work := make([]Value, len(row))
+	copy(work, row)
+	var pk int64
+	if work[0].Null {
+		next, err := t.NextPK(tx)
+		if err != nil {
+			return 0, err
+		}
+		pk = next
+		work[0] = Int64(pk)
+	} else {
+		if work[0].Type != TypeInt64 {
+			return 0, fmt.Errorf("vstore: primary key must be INT64")
+		}
+		pk = work[0].Int
+	}
+	if pk < 0 {
+		return 0, fmt.Errorf("vstore: negative primary key %d", pk)
+	}
+	if err := t.writeBlobCols(tx, work); err != nil {
+		return 0, err
+	}
+	rec, err := encodeRow(schema, work)
+	if err != nil {
+		return 0, err
+	}
+	rid, err := t.heapInsert(tx, rec)
+	if err != nil {
+		return 0, err
+	}
+	if err := t.pkInsert(tx, uint64(pk), rid, false); err != nil {
+		return 0, err
+	}
+	if err := t.indexRow(tx, pk, work, true); err != nil {
+		return 0, err
+	}
+	return pk, nil
+}
+
+// writeBlobCols materialises out-of-row storage: TypeBlob values (raw
+// bytes) become page chains, and TEXT values longer than the overflow
+// threshold move to chains as well (TOAST-style), keeping every row within
+// one page.
+func (t *Table) writeBlobCols(tx *Txn, row []Value) error {
+	for i := range row {
+		if row[i].Null {
+			continue
+		}
+		switch t.meta.Schema.Cols[i].Type {
+		case TypeBlob:
+			if row[i].Bytes == nil && !row[i].Blob.IsZero() {
+				continue // already a reference (e.g. round-tripped row)
+			}
+			first, err := t.db.writeBlobChain(tx, row[i].Bytes)
+			if err != nil {
+				return err
+			}
+			row[i].Blob = BlobRef{First: first, Len: int64(len(row[i].Bytes))}
+			row[i].Bytes = nil
+		case TypeText:
+			if row[i].overflowText || len(row[i].Str) <= textOverflowThreshold {
+				continue
+			}
+			first, err := t.db.writeBlobChain(tx, []byte(row[i].Str))
+			if err != nil {
+				return err
+			}
+			row[i] = Value{
+				Type:         TypeText,
+				Blob:         BlobRef{First: first, Len: int64(len(row[i].Str))},
+				overflowText: true,
+			}
+		}
+	}
+	return nil
+}
+
+// resolveOverflow fetches out-of-row TEXT values back into Str, returning
+// plain inline values to callers.
+func (t *Table) resolveOverflow(row []Value) error {
+	for i := range row {
+		if !row[i].overflowText || row[i].Null {
+			continue
+		}
+		raw, err := t.db.readBlobChain(row[i].Blob.First, row[i].Blob.Len)
+		if err != nil {
+			return fmt.Errorf("vstore: resolve overflow text %s.%s: %w",
+				t.meta.Schema.Name, t.meta.Schema.Cols[i].Name, err)
+		}
+		row[i] = Text(string(raw))
+	}
+	return nil
+}
+
+// freeOutOfRow releases every chain (BLOB or overflow TEXT) owned by a
+// decoded row.
+func (t *Table) freeOutOfRow(tx *Txn, row []Value) error {
+	for i, col := range t.meta.Schema.Cols {
+		if row[i].Null {
+			continue
+		}
+		isChain := (col.Type == TypeBlob && !row[i].Blob.IsZero()) ||
+			(col.Type == TypeText && row[i].overflowText)
+		if !isChain {
+			continue
+		}
+		if err := t.db.freeBlobChain(tx, row[i].Blob.First); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Get fetches a row by primary key. Pass tx == nil outside transactions.
+func (t *Table) Get(tx *Txn, pk int64) ([]Value, bool, error) {
+	unlock := t.rlockIfNeeded(tx)
+	defer unlock()
+	rid, ok, err := t.db.btSearch(t.meta.PKRoot, uint64(pk))
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	rec, err := t.heapGet(rid)
+	if err != nil {
+		return nil, false, err
+	}
+	row, err := decodeRow(&t.meta.Schema, rec)
+	if err != nil {
+		return nil, false, err
+	}
+	if err := t.resolveOverflow(row); err != nil {
+		return nil, false, err
+	}
+	return row, true, nil
+}
+
+// ReadBlob fetches an out-of-row value.
+func (db *DB) ReadBlob(tx *Txn, ref BlobRef) ([]byte, error) {
+	if ref.IsZero() {
+		return nil, nil
+	}
+	if tx == nil {
+		db.mu.RLock()
+		defer db.mu.RUnlock()
+	}
+	return db.readBlobChain(ref.First, ref.Len)
+}
+
+// Update replaces the row at pk. Old blob chains are freed; new blob
+// values are written.
+func (t *Table) Update(tx *Txn, pk int64, row []Value) error {
+	if tx == nil {
+		return errors.New("vstore: Update requires a transaction")
+	}
+	schema := &t.meta.Schema
+	rid, ok, err := t.db.btSearch(t.meta.PKRoot, uint64(pk))
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("vstore: update: no row %d in %q", pk, t.name)
+	}
+	oldRec, err := t.heapGet(rid)
+	if err != nil {
+		return err
+	}
+	oldRow, err := decodeRow(schema, oldRec)
+	if err != nil {
+		return err
+	}
+	work := make([]Value, len(row))
+	copy(work, row)
+	work[0] = Int64(pk)
+	if err := t.writeBlobCols(tx, work); err != nil {
+		return err
+	}
+	rec, err := encodeRow(schema, work)
+	if err != nil {
+		return err
+	}
+	newRID, err := t.heapUpdate(tx, rid, rec)
+	if err != nil {
+		return err
+	}
+	if newRID != rid {
+		if err := t.pkInsert(tx, uint64(pk), newRID, true); err != nil {
+			return err
+		}
+	}
+	// Free superseded chains (BLOBs and overflow TEXT) that the new row
+	// does not reuse.
+	for i, col := range schema.Cols {
+		if oldRow[i].Null {
+			continue
+		}
+		oldChain := (col.Type == TypeBlob && !oldRow[i].Blob.IsZero()) ||
+			(col.Type == TypeText && oldRow[i].overflowText)
+		if !oldChain || oldRow[i].Blob == work[i].Blob {
+			continue
+		}
+		if err := t.db.freeBlobChain(tx, oldRow[i].Blob.First); err != nil {
+			return err
+		}
+	}
+	if err := t.deindexRow(tx, pk, oldRow); err != nil {
+		return err
+	}
+	return t.indexRow(tx, pk, work, true)
+}
+
+// Delete removes the row at pk, reporting whether it existed.
+func (t *Table) Delete(tx *Txn, pk int64) (bool, error) {
+	if tx == nil {
+		return false, errors.New("vstore: Delete requires a transaction")
+	}
+	rid, ok, err := t.db.btSearch(t.meta.PKRoot, uint64(pk))
+	if err != nil || !ok {
+		return false, err
+	}
+	rec, err := t.heapGet(rid)
+	if err != nil {
+		return false, err
+	}
+	row, err := decodeRow(&t.meta.Schema, rec)
+	if err != nil {
+		return false, err
+	}
+	if err := t.freeOutOfRow(tx, row); err != nil {
+		return false, err
+	}
+	if err := t.heapDelete(tx, rid); err != nil {
+		return false, err
+	}
+	if _, err := t.db.btDelete(tx, t.meta.PKRoot, uint64(pk)); err != nil {
+		return false, err
+	}
+	if err := t.deindexRow(tx, pk, row); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// Scan visits every row in primary-key order. fn returning false stops.
+func (t *Table) Scan(tx *Txn, fn func(pk int64, row []Value) (bool, error)) error {
+	unlock := t.rlockIfNeeded(tx)
+	defer unlock()
+	return t.db.btScan(t.meta.PKRoot, 0, ^uint64(0), func(k, rid uint64) (bool, error) {
+		rec, err := t.heapGet(rid)
+		if err != nil {
+			return false, err
+		}
+		row, err := decodeRow(&t.meta.Schema, rec)
+		if err != nil {
+			return false, err
+		}
+		if err := t.resolveOverflow(row); err != nil {
+			return false, err
+		}
+		return fn(int64(k), row)
+	})
+}
+
+// Count returns the number of rows.
+func (t *Table) Count(tx *Txn) (int, error) {
+	unlock := t.rlockIfNeeded(tx)
+	defer unlock()
+	return t.db.btCount(t.meta.PKRoot, 0, ^uint64(0))
+}
+
+// pkInsert updates the primary index, persisting the catalog when the
+// root page changes.
+func (t *Table) pkInsert(tx *Txn, key, rid uint64, replace bool) error {
+	root, _, err := t.db.btInsert(tx, t.meta.PKRoot, key, rid, replace)
+	if err != nil {
+		return err
+	}
+	if root != t.meta.PKRoot {
+		t.meta.PKRoot = root
+		if err := t.db.persistCatalog(tx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PackIndexKey builds the packed secondary-index key for the given column
+// values (each in [0,255]) and primary key (must fit 40 bits).
+func PackIndexKey(vals []int64, pk int64) (uint64, error) {
+	if len(vals) > maxIndexCols {
+		return 0, fmt.Errorf("vstore: too many index columns (%d)", len(vals))
+	}
+	if pk < 0 || pk > maxIndexPK {
+		return 0, fmt.Errorf("vstore: pk %d outside packed-index range", pk)
+	}
+	var key uint64
+	for i, v := range vals {
+		if v < 0 || v > 255 {
+			return 0, fmt.Errorf("vstore: index column value %d outside [0,255]", v)
+		}
+		key |= uint64(v) << (56 - 8*i)
+	}
+	return key | uint64(pk), nil
+}
+
+// IndexPrefixRange returns the [lo, hi] packed-key bounds covering every
+// pk under the given column values.
+func IndexPrefixRange(vals []int64) (lo, hi uint64, err error) {
+	lo, err = PackIndexKey(vals, 0)
+	if err != nil {
+		return 0, 0, err
+	}
+	return lo, lo | uint64(maxIndexPK), nil
+}
+
+// indexRow inserts the row's entries into every secondary index.
+func (t *Table) indexRow(tx *Txn, pk int64, row []Value, replace bool) error {
+	for _, spec := range t.meta.Schema.Indexes {
+		key, err := t.indexKeyFor(spec, pk, row)
+		if err != nil {
+			return err
+		}
+		root, _, err := t.db.btInsert(tx, t.meta.Indexes[spec.Name], key, uint64(pk), replace)
+		if err != nil {
+			return err
+		}
+		if root != t.meta.Indexes[spec.Name] {
+			t.meta.Indexes[spec.Name] = root
+			if err := t.db.persistCatalog(tx); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// deindexRow removes the row's entries from every secondary index.
+func (t *Table) deindexRow(tx *Txn, pk int64, row []Value) error {
+	for _, spec := range t.meta.Schema.Indexes {
+		key, err := t.indexKeyFor(spec, pk, row)
+		if err != nil {
+			return err
+		}
+		if _, err := t.db.btDelete(tx, t.meta.Indexes[spec.Name], key); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (t *Table) indexKeyFor(spec IndexSpec, pk int64, row []Value) (uint64, error) {
+	vals := make([]int64, len(spec.Cols))
+	for i, cn := range spec.Cols {
+		ci := t.meta.Schema.ColIndex(cn)
+		if ci < 0 {
+			return 0, fmt.Errorf("vstore: index %q column %q vanished", spec.Name, cn)
+		}
+		vals[i] = row[ci].Int
+	}
+	return PackIndexKey(vals, pk)
+}
+
+// IndexScan visits primary keys whose packed index key lies in [lo, hi].
+func (t *Table) IndexScan(tx *Txn, index string, lo, hi uint64, fn func(pk int64) (bool, error)) error {
+	unlock := t.rlockIfNeeded(tx)
+	defer unlock()
+	root, ok := t.meta.Indexes[index]
+	if !ok {
+		return fmt.Errorf("vstore: table %q has no index %q", t.name, index)
+	}
+	return t.db.btScan(root, lo, hi, func(_, pk uint64) (bool, error) {
+		return fn(int64(pk))
+	})
+}
+
+// btMax returns the largest key in the tree.
+func (db *DB) btMax(root PageID) (uint64, bool, error) {
+	if root == invalidPage {
+		return 0, false, nil
+	}
+	id := root
+	for {
+		p, err := db.pager.get(id)
+		if err != nil {
+			return 0, false, err
+		}
+		switch p.Type() {
+		case pageTypeInternal:
+			id = intChild(p, btNKeys(p))
+		case pageTypeLeaf:
+			n := btNKeys(p)
+			if n == 0 {
+				// Rightmost leaf may be empty after lazy deletes; walk
+				// back is not possible, so scan from the start (rare).
+				var max uint64
+				found := false
+				err := db.btScan(root, 0, ^uint64(0), func(k, _ uint64) (bool, error) {
+					max, found = k, true
+					return true, nil
+				})
+				return max, found, err
+			}
+			return leafKey(p, n-1), true, nil
+		default:
+			return 0, false, fmt.Errorf("vstore: page %d has type %d, not a btree node", id, p.Type())
+		}
+	}
+}

@@ -1,0 +1,301 @@
+// Package webui implements the paper's web application handlers (Figs. 2,
+// 9, 10): query-by-frame search with a thumbnail result grid, a video page
+// stepping through key frames, and the administrator's upload/delete
+// operations. It is plain net/http + html/template, served by cmd/cbvr-web
+// and exercised directly by handler tests.
+package webui
+
+import (
+	"bytes"
+	"encoding/base64"
+	"fmt"
+	"html/template"
+	"io"
+	"net/http"
+	"strconv"
+
+	"cbvr/internal/core"
+	"cbvr/internal/imaging"
+)
+
+// maxUploadBytes bounds request bodies (query frames and video uploads).
+const maxUploadBytes = 64 << 20
+
+// Server holds the handlers. Create one with New.
+type Server struct {
+	eng *core.Engine
+	mux *http.ServeMux
+}
+
+// New builds the route table around an engine.
+func New(eng *core.Engine) *Server {
+	s := &Server{eng: eng, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/", s.handleHome)
+	s.mux.HandleFunc("/search", s.handleSearch)
+	s.mux.HandleFunc("/video", s.handleVideo)
+	s.mux.HandleFunc("/frame", s.handleFrame)
+	s.mux.HandleFunc("/download", s.handleDownload)
+	s.mux.HandleFunc("/admin/upload", s.handleAdminUpload)
+	s.mux.HandleFunc("/admin/delete", s.handleAdminDelete)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+var pageTmpl = template.Must(template.New("page").Parse(`<!doctype html>
+<html><head><title>CBVR — Content Based Video Retrieval</title>
+<style>
+body{font-family:sans-serif;margin:2em;background:#fafafa}
+h1{color:#234}
+.grid{display:flex;flex-wrap:wrap;gap:12px}
+.card{border:1px solid #ccc;background:#fff;padding:8px;border-radius:4px;text-align:center}
+.card img{display:block;margin-bottom:4px}
+.dist{color:#666;font-size:0.8em}
+table{border-collapse:collapse}
+td,th{border:1px solid #ccc;padding:4px 10px}
+form{margin:1em 0}
+</style></head><body>
+<h1>Content Based Video Retrieval</h1>
+{{block "body" .}}{{end}}
+</body></html>`))
+
+var homeTmpl = template.Must(template.Must(pageTmpl.Clone()).Parse(`{{define "body"}}
+<h2>Query by example frame</h2>
+<form action="/search" method="POST" enctype="multipart/form-data">
+<input type="file" name="image" accept="image/jpeg" required>
+<input type="number" name="k" value="12" min="1" max="100">
+<button type="submit">Search</button>
+</form>
+<h2>Video store ({{len .Videos}} videos, {{.KeyFrames}} key frames)</h2>
+<table><tr><th>V_ID</th><th>V_NAME</th><th>bytes</th><th></th></tr>
+{{range .Videos}}<tr><td>{{.ID}}</td><td><a href="/video?id={{.ID}}">{{.Name}}</a></td><td>{{.VideoLen}}</td>
+<td><form action="/admin/delete" method="POST" style="margin:0"><input type="hidden" name="id" value="{{.ID}}"><button>delete</button></form></td></tr>{{end}}
+</table>
+<h2>Admin: upload video (CVJ container)</h2>
+<form action="/admin/upload" method="POST" enctype="multipart/form-data">
+<input type="file" name="video" required> name: <input type="text" name="name">
+<button type="submit">Upload</button>
+</form>
+{{end}}`))
+
+var searchTmpl = template.Must(template.Must(pageTmpl.Clone()).Parse(`{{define "body"}}
+<h2>Results ({{len .Matches}})</h2>
+<p><a href="/">new query</a></p>
+<div class="grid">
+{{range .Matches}}
+<div class="card">
+<a href="/video?id={{.VideoID}}"><img src="/frame?id={{.KeyFrameID}}" alt="key frame {{.KeyFrameID}}" width="160"></a>
+<div>{{.VideoName}} #{{.FrameIndex}}</div>
+<div class="dist">d = {{printf "%.4f" .Distance}}</div>
+</div>
+{{end}}
+</div>
+{{end}}`))
+
+var videoTmpl = template.Must(template.Must(pageTmpl.Clone()).Parse(`{{define "body"}}
+<h2>{{.Info.Name}} (video {{.Info.ID}})</h2>
+<p><a href="/">back</a> · <a href="/download?id={{.Info.ID}}">download container</a></p>
+<div class="grid">
+{{range .Frames}}
+<div class="card">
+<img src="data:image/jpeg;base64,{{.B64}}" width="160" alt="frame {{.Index}}">
+<div>frame #{{.Index}}</div>
+<div class="dist">bucket [{{.Min}},{{.Max}}] · {{.Major}} major regions</div>
+</div>
+{{end}}
+</div>
+{{end}}`))
+
+func (s *Server) handleHome(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	vids, err := s.eng.Store().ListVideos(nil)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	nk, err := s.eng.Store().CountKeyFrames(nil)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	render(w, homeTmpl, map[string]any{"Videos": vids, "KeyFrames": nk})
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxUploadBytes)
+	file, _, err := r.FormFile("image")
+	if err != nil {
+		http.Error(w, "missing image upload", http.StatusBadRequest)
+		return
+	}
+	defer file.Close()
+	query, err := imaging.DecodeJPEG(file)
+	if err != nil {
+		http.Error(w, "not a decodable JPEG", http.StatusBadRequest)
+		return
+	}
+	k := 12
+	if v, err := strconv.Atoi(r.FormValue("k")); err == nil && v > 0 && v <= 100 {
+		k = v
+	}
+	matches, err := s.eng.SearchFrame(query, core.SearchOptions{K: k})
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	render(w, searchTmpl, map[string]any{"Matches": matches})
+}
+
+func (s *Server) handleVideo(w http.ResponseWriter, r *http.Request) {
+	id, ok := idParam(w, r)
+	if !ok {
+		return
+	}
+	info, found, err := s.eng.Store().GetVideoInfo(nil, id)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	if !found {
+		http.NotFound(w, r)
+		return
+	}
+	kfs, err := s.eng.Store().KeyFramesOfVideo(nil, id)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	type frameView struct {
+		Index, Min, Max, Major int
+		B64                    string
+	}
+	var frames []frameView
+	for _, kf := range kfs {
+		img, ok, err := s.eng.Store().KeyFrameImage(nil, kf.ID)
+		if err != nil || !ok {
+			continue
+		}
+		frames = append(frames, frameView{
+			Index: kf.FrameIndex,
+			Min:   kf.Min, Max: kf.Max,
+			Major: kf.MajorRegions,
+			B64:   base64.StdEncoding.EncodeToString(img),
+		})
+	}
+	render(w, videoTmpl, map[string]any{"Info": info, "Frames": frames})
+}
+
+func (s *Server) handleFrame(w http.ResponseWriter, r *http.Request) {
+	id, ok := idParam(w, r)
+	if !ok {
+		return
+	}
+	img, found, err := s.eng.Store().KeyFrameImage(nil, id)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	if !found {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "image/jpeg")
+	w.Write(img)
+}
+
+func (s *Server) handleDownload(w http.ResponseWriter, r *http.Request) {
+	id, ok := idParam(w, r)
+	if !ok {
+		return
+	}
+	raw, found, err := s.eng.Store().VideoBytes(nil, id)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	if !found {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=video-%d.cvj", id))
+	w.Write(raw)
+}
+
+func (s *Server) handleAdminUpload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxUploadBytes)
+	file, hdr, err := r.FormFile("video")
+	if err != nil {
+		http.Error(w, "missing video upload", http.StatusBadRequest)
+		return
+	}
+	defer file.Close()
+	raw, err := io.ReadAll(file)
+	if err != nil {
+		http.Error(w, "upload truncated", http.StatusBadRequest)
+		return
+	}
+	name := r.FormValue("name")
+	if name == "" {
+		name = hdr.Filename
+	}
+	if _, err := s.eng.IngestVideo(name, raw); err != nil {
+		http.Error(w, "ingest failed: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	http.Redirect(w, r, "/", http.StatusSeeOther)
+}
+
+func (s *Server) handleAdminDelete(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	id, err := strconv.ParseInt(r.FormValue("id"), 10, 64)
+	if err != nil {
+		http.Error(w, "bad id", http.StatusBadRequest)
+		return
+	}
+	if err := s.eng.DeleteVideo(id); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	http.Redirect(w, r, "/", http.StatusSeeOther)
+}
+
+func idParam(w http.ResponseWriter, r *http.Request) (int64, bool) {
+	id, err := strconv.ParseInt(r.URL.Query().Get("id"), 10, 64)
+	if err != nil || id <= 0 {
+		http.Error(w, "bad id", http.StatusBadRequest)
+		return 0, false
+	}
+	return id, true
+}
+
+func render(w http.ResponseWriter, t *template.Template, data any) {
+	var buf bytes.Buffer
+	if err := t.Execute(&buf, data); err != nil {
+		httpError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	buf.WriteTo(w)
+}
+
+func httpError(w http.ResponseWriter, err error) {
+	http.Error(w, "internal error: "+err.Error(), http.StatusInternalServerError)
+}

@@ -1,0 +1,283 @@
+package webui
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"mime/multipart"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cbvr/internal/core"
+	"cbvr/internal/cvj"
+	"cbvr/internal/synthvid"
+)
+
+func newTestServer(t *testing.T) (*Server, *core.Engine, *core.IngestResult) {
+	t.Helper()
+	eng, err := core.Open(filepath.Join(t.TempDir(), "web.db"), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eng.Close() })
+	v := synthvid.Generate(synthvid.Cartoon, synthvid.Config{Width: 96, Height: 72, Frames: 10, Shots: 2, Seed: 3})
+	res, err := eng.IngestFrames("cartoon_00", v.Frames, v.FPS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(eng), eng, res
+}
+
+func multipartBody(t *testing.T, field, filename string, content []byte, extra map[string]string) (*bytes.Buffer, string) {
+	t.Helper()
+	var buf bytes.Buffer
+	mw := multipart.NewWriter(&buf)
+	fw, err := mw.CreateFormFile(field, filename)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw.Write(content)
+	for k, v := range extra {
+		mw.WriteField(k, v)
+	}
+	mw.Close()
+	return &buf, mw.FormDataContentType()
+}
+
+func TestHomePageListsVideos(t *testing.T) {
+	srv, _, _ := newTestServer(t)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	body := rec.Body.String()
+	if !strings.Contains(body, "cartoon_00") {
+		t.Error("home page missing video name")
+	}
+	if !strings.Contains(body, "Query by example frame") {
+		t.Error("home page missing query form")
+	}
+}
+
+func TestHomePageUnknownPath404(t *testing.T) {
+	srv, _, _ := newTestServer(t)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/nope", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("status %d", rec.Code)
+	}
+}
+
+func TestSearchReturnsResultGrid(t *testing.T) {
+	srv, _, _ := newTestServer(t)
+	v := synthvid.Generate(synthvid.Cartoon, synthvid.Config{Width: 96, Height: 72, Frames: 3, Shots: 1, Seed: 9})
+	var jpg bytes.Buffer
+	if err := v.Frames[0].EncodeJPEG(&jpg, 0); err != nil {
+		t.Fatal(err)
+	}
+	body, ctype := multipartBody(t, "image", "q.jpg", jpg.Bytes(), map[string]string{"k": "5"})
+	req := httptest.NewRequest(http.MethodPost, "/search", body)
+	req.Header.Set("Content-Type", ctype)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	if !strings.Contains(rec.Body.String(), "/frame?id=") {
+		t.Error("result grid missing frame links")
+	}
+}
+
+func TestSearchRejectsNonPost(t *testing.T) {
+	srv, _, _ := newTestServer(t)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/search", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("status %d", rec.Code)
+	}
+}
+
+func TestSearchRejectsGarbageImage(t *testing.T) {
+	srv, _, _ := newTestServer(t)
+	body, ctype := multipartBody(t, "image", "q.jpg", []byte("not a jpeg"), nil)
+	req := httptest.NewRequest(http.MethodPost, "/search", body)
+	req.Header.Set("Content-Type", ctype)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("status %d", rec.Code)
+	}
+}
+
+func TestVideoPageShowsKeyFrames(t *testing.T) {
+	srv, _, res := newTestServer(t)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, fmt.Sprintf("/video?id=%d", res.VideoID), nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	body := rec.Body.String()
+	if !strings.Contains(body, "data:image/jpeg;base64,") {
+		t.Error("video page missing inline key frames")
+	}
+	if !strings.Contains(body, "bucket [") {
+		t.Error("video page missing range buckets")
+	}
+}
+
+func TestVideoPageMissing404(t *testing.T) {
+	srv, _, _ := newTestServer(t)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/video?id=999", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("status %d", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/video?id=abc", nil))
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("bad id status %d", rec.Code)
+	}
+}
+
+func TestFrameServesJPEG(t *testing.T) {
+	srv, _, res := newTestServer(t)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, fmt.Sprintf("/frame?id=%d", res.KeyFrameIDs[0]), nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "image/jpeg" {
+		t.Errorf("content type %q", ct)
+	}
+	if !bytes.HasPrefix(rec.Body.Bytes(), []byte{0xff, 0xd8}) {
+		t.Error("payload is not a JPEG")
+	}
+}
+
+func TestDownloadServesContainer(t *testing.T) {
+	srv, _, res := newTestServer(t)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, fmt.Sprintf("/download?id=%d", res.VideoID), nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if !bytes.HasPrefix(rec.Body.Bytes(), []byte(cvj.Magic)) {
+		t.Error("download is not a CVJ container")
+	}
+}
+
+func TestAdminUploadIngests(t *testing.T) {
+	srv, eng, _ := newTestServer(t)
+	v := synthvid.Generate(synthvid.News, synthvid.Config{Width: 96, Height: 72, Frames: 6, Shots: 2, Seed: 4})
+	raw, err := cvj.EncodeBytes(v.Frames, v.FPS, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, ctype := multipartBody(t, "video", "news.cvj", raw, map[string]string{"name": "news_99"})
+	req := httptest.NewRequest(http.MethodPost, "/admin/upload", body)
+	req.Header.Set("Content-Type", ctype)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusSeeOther {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	vids, _ := eng.Store().ListVideos(nil)
+	found := false
+	for _, vi := range vids {
+		if vi.Name == "news_99" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("uploaded video not in store")
+	}
+}
+
+func TestAdminUploadRejectsGarbage(t *testing.T) {
+	srv, _, _ := newTestServer(t)
+	body, ctype := multipartBody(t, "video", "x.cvj", []byte("garbage"), nil)
+	req := httptest.NewRequest(http.MethodPost, "/admin/upload", body)
+	req.Header.Set("Content-Type", ctype)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("status %d", rec.Code)
+	}
+}
+
+func TestAdminDelete(t *testing.T) {
+	srv, eng, res := newTestServer(t)
+	form := strings.NewReader(fmt.Sprintf("id=%d", res.VideoID))
+	req := httptest.NewRequest(http.MethodPost, "/admin/delete", form)
+	req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusSeeOther {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	n, _ := eng.Store().CountVideos(nil)
+	if n != 0 {
+		t.Errorf("videos after delete = %d", n)
+	}
+	// Deleting again fails politely.
+	req = httptest.NewRequest(http.MethodPost, "/admin/delete", strings.NewReader(fmt.Sprintf("id=%d", res.VideoID)))
+	req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+	rec = httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("double delete status %d", rec.Code)
+	}
+}
+
+func TestEndToEndSearchFlow(t *testing.T) {
+	// Upload → search with a frame of the uploaded video → its own key
+	// frame ranks first → fetch that frame image.
+	srv, _, _ := newTestServer(t)
+	v := synthvid.Generate(synthvid.Nature, synthvid.Config{Width: 96, Height: 72, Frames: 8, Shots: 2, Seed: 12})
+	raw, _ := cvj.EncodeBytes(v.Frames, v.FPS, 0)
+	body, ctype := multipartBody(t, "video", "nature.cvj", raw, map[string]string{"name": "nature_77"})
+	req := httptest.NewRequest(http.MethodPost, "/admin/upload", body)
+	req.Header.Set("Content-Type", ctype)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusSeeOther {
+		t.Fatalf("upload status %d", rec.Code)
+	}
+
+	var jpg bytes.Buffer
+	v.Frames[0].EncodeJPEG(&jpg, 0)
+	body, ctype = multipartBody(t, "image", "q.jpg", jpg.Bytes(), map[string]string{"k": "3"})
+	req = httptest.NewRequest(http.MethodPost, "/search", body)
+	req.Header.Set("Content-Type", ctype)
+	rec = httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("search status %d", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "nature_77") {
+		t.Error("uploaded video not found by its own frame")
+	}
+
+	// Pull the first frame link out of the grid and fetch it.
+	page := rec.Body.String()
+	i := strings.Index(page, "/frame?id=")
+	if i < 0 {
+		t.Fatal("no frame link")
+	}
+	end := i
+	for end < len(page) && page[end] != '"' {
+		end++
+	}
+	rec = httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, page[i:end], nil))
+	if rec.Code != http.StatusOK {
+		t.Errorf("frame fetch status %d", rec.Code)
+	}
+	if _, err := io.ReadAll(rec.Result().Body); err != nil {
+		t.Fatal(err)
+	}
+}
