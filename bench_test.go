@@ -242,6 +242,136 @@ func BenchmarkPipeline_SearchVideoDTW(b *testing.B) {
 	}
 }
 
+// Sharded search pipeline (DESIGN.md "Sharded search pipeline").
+//
+// shardedCorpus is a dedicated large fixture: every frame becomes a key
+// frame (threshold ~0), yielding a ≥ 1000-key-frame cache so the
+// parallel shard scan has enough work per query for the speedup to be
+// measurable. It is built once, only when these benchmarks run.
+type shardedBenchCorpus struct {
+	sys    *cbvr.System
+	qsets  []*features.Set
+	qbkts  []rangeindex.Range
+	frames int
+}
+
+var (
+	shardedOnce sync.Once
+	sharded     *shardedBenchCorpus
+	shardedErr  error
+)
+
+func shardedCorpus(b *testing.B) *shardedBenchCorpus {
+	b.Helper()
+	shardedOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "cbvr-sharded-*")
+		if err != nil {
+			shardedErr = err
+			return
+		}
+		sys, err := cbvr.Open(filepath.Join(dir, "sharded.db"), cbvr.Options{
+			// Near-zero threshold keeps every frame: 25 clips x 40 frames
+			// = 1000 key frames. The explicit shard count keeps the
+			// 1/4-worker variants meaningful even on hosts with a small
+			// GOMAXPROCS (shards bound per-query parallelism).
+			KeyframeThreshold: 0.001,
+			SearchShards:      8,
+		})
+		if err != nil {
+			shardedErr = err
+			return
+		}
+		cats := []synthvid.Category{
+			synthvid.Elearning, synthvid.Sports, synthvid.Cartoon,
+			synthvid.Movie, synthvid.News,
+		}
+		for i := 0; i < 25; i++ {
+			v := synthvid.Generate(cats[i%len(cats)], synthvid.Config{
+				Width: 96, Height: 72, Frames: 40, Shots: 6, Seed: int64(1000 + i),
+			})
+			if _, err := sys.IngestFrames(fmt.Sprintf("%s_%02d", v.Name, i), v.Frames, v.FPS); err != nil {
+				shardedErr = err
+				return
+			}
+		}
+		n, err := sys.Engine().CacheSize()
+		if err != nil {
+			shardedErr = err
+			return
+		}
+		c := &shardedBenchCorpus{sys: sys, frames: n}
+		var qframes []*imaging.Image
+		for i := 0; i < 4; i++ {
+			q := synthvid.Generate(cats[i], synthvid.Config{
+				Width: 96, Height: 72, Frames: 2, Shots: 1, Seed: int64(2000 + i),
+			})
+			qframes = append(qframes, q.Frames[0])
+		}
+		c.qsets = sys.Engine().ExtractQuerySets(qframes)
+		for _, f := range qframes {
+			c.qbkts = append(c.qbkts, core.QueryBucket(f))
+		}
+		sharded = c
+	})
+	if shardedErr != nil {
+		b.Fatal(shardedErr)
+	}
+	if sharded.frames < 1000 {
+		b.Fatalf("sharded corpus has %d key frames, want >= 1000", sharded.frames)
+	}
+	return sharded
+}
+
+// benchSearchSharded times one combined-feature top-K retrieval per
+// iteration through the sharded pipeline at a given worker count
+// (0 = engine default, i.e. GOMAXPROCS).
+func benchSearchSharded(b *testing.B, workers int) {
+	c := shardedCorpus(b)
+	opt := core.SearchOptions{K: 10, NoPruning: true, Workers: workers}
+	b.ReportMetric(float64(c.frames), "keyframes")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := i % len(c.qsets)
+		if _, err := c.sys.Engine().SearchWithSet(c.qsets[q], c.qbkts[q], opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSearchSharded_Reference is the speedup baseline: the retained
+// naive single-goroutine full-sort scan over the same 1k-key-frame cache.
+func BenchmarkSearchSharded_Reference(b *testing.B) {
+	c := shardedCorpus(b)
+	opt := core.SearchOptions{K: 10, NoPruning: true}
+	b.ReportMetric(float64(c.frames), "keyframes")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := i % len(c.qsets)
+		if _, err := c.sys.Engine().SearchWithSetReference(c.qsets[q], c.qbkts[q], opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSearchSharded_Workers1(b *testing.B)   { benchSearchSharded(b, 1) }
+func BenchmarkSearchSharded_Workers4(b *testing.B)   { benchSearchSharded(b, 4) }
+func BenchmarkSearchSharded_WorkersMax(b *testing.B) { benchSearchSharded(b, 0) }
+
+// BenchmarkSearchSharded_MinMaxWorkersMax exercises the streamed min-max
+// fusion path (two-pass, no per-feature distance lists) at full
+// parallelism.
+func BenchmarkSearchSharded_MinMaxWorkersMax(b *testing.B) {
+	c := shardedCorpus(b)
+	opt := core.SearchOptions{K: 10, NoPruning: true, Fusion: core.FusionMinMax}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := i % len(c.qsets)
+		if _, err := c.sys.Engine().SearchWithSet(c.qsets[q], c.qbkts[q], opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // Ablations (DESIGN.md).
 func BenchmarkAblation_RangePruningOn(b *testing.B) {
 	c := sharedCorpus(b)

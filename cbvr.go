@@ -8,6 +8,14 @@
 // per-feature distances — the paper's "Combined" retrieval, which its
 // Table 1 shows beating every individual feature.
 //
+// Retrieval runs on a concurrent sharded pipeline: the key-frame cache is
+// partitioned by ID (Options.SearchShards, defaulting to GOMAXPROCS),
+// each shard worker prunes and scores its own slice of the archive, and
+// bounded top-K heaps select the ranking without fully sorting the
+// candidate set. Results are deterministic at any parallelism; set
+// SearchOptions.Workers to bound (or serialise) an individual call. See
+// DESIGN.md ("Sharded search pipeline") for the architecture.
+//
 // # Quick start
 //
 //	sys, err := cbvr.Open("videos.db", cbvr.Options{})
@@ -115,7 +123,9 @@ func (s *System) IngestFrames(name string, frames []*Image, fps int) (*IngestRes
 // administrator role).
 func (s *System) DeleteVideo(videoID int64) error { return s.eng.DeleteVideo(videoID) }
 
-// Search ranks stored key frames against a query frame.
+// Search ranks stored key frames against a query frame. Scoring fans out
+// across the engine's cache shards; it is safe to call concurrently with
+// other searches and with ingestion.
 func (s *System) Search(query *Image, opts SearchOptions) ([]Match, error) {
 	return s.eng.SearchFrame(query, opts)
 }

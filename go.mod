@@ -1,0 +1,3 @@
+module cbvr
+
+go 1.21

@@ -10,7 +10,6 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
-	"sort"
 	"sync"
 	"time"
 
@@ -20,7 +19,6 @@ import (
 	"cbvr/internal/imaging"
 	"cbvr/internal/keyframe"
 	"cbvr/internal/rangeindex"
-	"cbvr/internal/similarity"
 	"cbvr/internal/vstore"
 )
 
@@ -29,8 +27,16 @@ type Options struct {
 	// KeyframeThreshold overrides the §4.1 similarity cut-off
 	// (default 800).
 	KeyframeThreshold float64
-	// Workers bounds parallel feature extraction; <= 0 uses GOMAXPROCS.
+	// Workers bounds parallel feature extraction and query-time scoring;
+	// <= 0 uses GOMAXPROCS.
 	Workers int
+	// SearchShards fixes the number of partitions the key-frame cache and
+	// range index are split into for the concurrent search pipeline.
+	// <= 0 derives the count from the larger of Workers and GOMAXPROCS.
+	// The shard count is set at Open and does not change for the engine's
+	// lifetime; query-time parallelism (Workers, SearchOptions.Workers)
+	// is clamped to it, since each shard is scanned by one worker.
+	SearchShards int
 	// JPEGQuality for stored key-frame images; <= 0 uses the default.
 	JPEGQuality int
 	// Store tunes the underlying vstore database.
@@ -66,6 +72,13 @@ type SearchOptions struct {
 	// NoPruning disables the §4.2 range-index candidate pruning and scans
 	// every key frame (used by the pruning ablation).
 	NoPruning bool
+	// Workers overrides the engine's query-time parallelism for this call
+	// only: the number of goroutines scoring cache shards. <= 0 uses the
+	// engine default (Options.Workers, else GOMAXPROCS); 1 runs the whole
+	// search on the calling goroutine. Frame searches are additionally
+	// clamped to the engine's fixed shard count (Options.SearchShards),
+	// one worker per shard. Results are identical at any worker count.
+	Workers int
 }
 
 // Match is one ranked key-frame result.
@@ -92,14 +105,21 @@ type IngestResult struct {
 }
 
 // Engine is the CBVR system facade over the catalog store.
+//
+// The scoreable key-frame cache is partitioned into a fixed number of
+// shards keyed by key-frame ID (id mod len(shards)), with a parallel
+// sharded range index for §4.2 bucket pruning. Search fans one worker out
+// per shard; ingest and delete update the owning shard under the engine
+// write lock. See DESIGN.md ("Sharded search pipeline").
 type Engine struct {
 	store *catalog.Store
 	opts  Options
 
-	mu    sync.RWMutex
-	cache map[int64]*frameEntry // key-frame ID -> parsed descriptors
-	vname map[int64]string      // video ID -> name
-	warm  bool
+	mu     sync.RWMutex
+	shards []map[int64]*frameEntry // key-frame ID -> parsed descriptors, by id mod N
+	index  *rangeindex.ShardedIndex
+	vname  map[int64]string // video ID -> name
+	warm   bool
 }
 
 // frameEntry caches one key frame's parsed state for scoring.
@@ -118,12 +138,70 @@ func Open(path string, opts Options) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	n := searchShardCount(opts)
+	shards := make([]map[int64]*frameEntry, n)
+	for i := range shards {
+		shards[i] = make(map[int64]*frameEntry)
+	}
 	return &Engine{
-		store: st,
-		opts:  opts,
-		cache: make(map[int64]*frameEntry),
-		vname: make(map[int64]string),
+		store:  st,
+		opts:   opts,
+		shards: shards,
+		index:  rangeindex.NewSharded(n),
+		vname:  make(map[int64]string),
 	}, nil
+}
+
+// maxSearchShards caps the cache partition count: beyond this, per-query
+// fan-out overhead outweighs any parallelism the hardware can deliver.
+const maxSearchShards = 256
+
+// searchShardCount resolves the fixed shard count for an engine. Without
+// an explicit SearchShards it sizes from whichever of Options.Workers and
+// GOMAXPROCS is larger: shards only bound the *maximum* per-query
+// parallelism, so a small Workers value (often set just to bound feature
+// extraction) must not permanently cap SearchOptions.Workers overrides.
+func searchShardCount(opts Options) int {
+	n := opts.SearchShards
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+		if opts.Workers > n {
+			n = opts.Workers
+		}
+	}
+	if n < 1 {
+		n = 1
+	}
+	if n > maxSearchShards {
+		n = maxSearchShards
+	}
+	return n
+}
+
+// putEntry files an entry into its cache shard and the range index.
+// Callers must hold e.mu for writing. Re-inserting an already cached ID is
+// a no-op so warmCache never double-indexes entries added by ingest.
+func (e *Engine) putEntry(en *frameEntry) {
+	s := e.index.ShardFor(en.id)
+	if _, ok := e.shards[s][en.id]; ok {
+		return
+	}
+	e.shards[s][en.id] = en
+	e.index.Insert(en.id, en.bucket)
+}
+
+// getEntry looks an entry up in its shard. Callers must hold e.mu.
+func (e *Engine) getEntry(id int64) *frameEntry {
+	return e.shards[e.index.ShardFor(id)][id]
+}
+
+// numCached counts cached entries. Callers must hold e.mu.
+func (e *Engine) numCached() int {
+	n := 0
+	for _, sh := range e.shards {
+		n += len(sh)
+	}
+	return n
 }
 
 // Close closes the engine and its database.
@@ -259,7 +337,7 @@ func (e *Engine) IngestVideo(name string, container []byte) (*IngestResult, erro
 
 	e.mu.Lock()
 	for _, en := range newEntries {
-		e.cache[en.id] = en
+		e.putEntry(en)
 	}
 	e.vname[videoID] = name
 	e.mu.Unlock()
@@ -280,9 +358,12 @@ func (e *Engine) DeleteVideo(videoID int64) error {
 		return err
 	}
 	e.mu.Lock()
-	for id, en := range e.cache {
-		if en.videoID == videoID {
-			delete(e.cache, id)
+	for _, sh := range e.shards {
+		for id, en := range sh {
+			if en.videoID == videoID {
+				delete(sh, id)
+				e.index.Remove(id, en.bucket)
+			}
 		}
 	}
 	delete(e.vname, videoID)
@@ -291,22 +372,30 @@ func (e *Engine) DeleteVideo(videoID int64) error {
 }
 
 // warmCache loads every stored key frame's feature strings into parsed
-// descriptor sets. It is called lazily by searches and is idempotent.
+// descriptor sets. It is called lazily by searches and is idempotent. The
+// warm flag is checked under the read lock first so steady-state searches
+// never contend on the write lock.
 func (e *Engine) warmCache() error {
+	e.mu.RLock()
+	warm := e.warm
+	e.mu.RUnlock()
+	if warm {
+		return nil
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.warm {
 		return nil
 	}
 	err := e.store.ScanKeyFrames(nil, func(k *catalog.KeyFrame) (bool, error) {
-		if _, ok := e.cache[k.ID]; ok {
+		if en := e.getEntry(k.ID); en != nil {
 			return true, nil
 		}
 		en, err := entryFromRow(k)
 		if err != nil {
 			return false, err
 		}
-		e.cache[k.ID] = en
+		e.putEntry(en)
 		return true, nil
 	})
 	if err != nil {
@@ -372,163 +461,6 @@ func (opt *SearchOptions) kinds() []features.Kind {
 	return opt.Kinds
 }
 
-// SearchFrame ranks stored key frames against a query frame: extract the
-// query's descriptors, prune candidates through the range index, score per
-// feature, min-max normalise, fuse and rank.
-func (e *Engine) SearchFrame(query *imaging.Image, opt SearchOptions) ([]Match, error) {
-	if err := e.warmCache(); err != nil {
-		return nil, err
-	}
-	qset := features.ExtractAll(query)
-	qbucket := QueryBucket(query)
-	return e.searchSet(qset, qbucket, opt)
-}
-
-// searchSet is the scoring half of SearchFrame, reusable when the query's
-// descriptors are already extracted (evaluation harness).
-func (e *Engine) searchSet(qset *features.Set, qbucket rangeindex.Range, opt SearchOptions) ([]Match, error) {
-	if err := e.warmCache(); err != nil {
-		return nil, err
-	}
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-
-	var cands []*frameEntry
-	for _, en := range e.cache {
-		if opt.NoPruning || en.bucket.Overlaps(qbucket) {
-			cands = append(cands, en)
-		}
-	}
-	sort.Slice(cands, func(i, j int) bool { return cands[i].id < cands[j].id })
-	if len(cands) == 0 {
-		return nil, nil
-	}
-
-	kinds := opt.kinds()
-	lists := make([][]float64, len(kinds))
-	for ki, kind := range kinds {
-		qd := qset.Get(kind)
-		if qd == nil {
-			return nil, fmt.Errorf("core: query lacks %v descriptor", kind)
-		}
-		dist := make([]float64, len(cands))
-		for i, en := range cands {
-			cd := en.set.Get(kind)
-			if cd == nil {
-				dist[i] = 1e9 // missing stored descriptor ranks last
-				continue
-			}
-			d, err := qd.DistanceTo(cd)
-			if err != nil {
-				return nil, err
-			}
-			dist[i] = d
-		}
-		lists[ki] = dist
-	}
-	var fused []float64
-	if len(kinds) == 1 {
-		fused = lists[0]
-	} else if opt.Fusion == FusionMinMax {
-		for _, l := range lists {
-			similarity.Normalize(l)
-		}
-		fused = similarity.Fuse(lists, opt.Weights)
-	} else {
-		// RRF returns negated scores; rescale into [0,1] so reported
-		// combined distances read like the single-feature ones.
-		fused = similarity.Normalize(similarity.RRF(lists, similarity.RRFConstant))
-	}
-
-	ids := make([]int64, len(cands))
-	for i, en := range cands {
-		ids[i] = en.id
-	}
-	ranked := similarity.Rank(ids, fused)
-	k := opt.K
-	if k <= 0 || k > len(ranked) {
-		k = len(ranked)
-	}
-	out := make([]Match, k)
-	for i := 0; i < k; i++ {
-		en := e.cache[ranked[i].ID]
-		out[i] = Match{
-			KeyFrameID: en.id,
-			VideoID:    en.videoID,
-			VideoName:  e.vname[en.videoID],
-			FrameIndex: en.frameIdx,
-			Distance:   ranked[i].Distance,
-		}
-	}
-	return out, nil
-}
-
-// SearchVideo ranks stored videos against a query clip using the paper's
-// dynamic-programming sequence similarity: the query's key-frame
-// descriptor sequence is aligned (DTW) against each stored video's
-// key-frame sequence, with per-pair cost the equally weighted sum of
-// fixed-scale feature distances.
-func (e *Engine) SearchVideo(queryFrames []*imaging.Image, opt SearchOptions) ([]VideoMatch, error) {
-	if err := e.warmCache(); err != nil {
-		return nil, err
-	}
-	kex := keyframe.Extractor{Threshold: e.opts.KeyframeThreshold}
-	kfs, err := kex.Extract(queryFrames)
-	if err != nil {
-		return nil, err
-	}
-	if len(kfs) == 0 {
-		return nil, errors.New("core: query clip has no frames")
-	}
-	qsets := make([]*features.Set, len(kfs))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, e.workers())
-	for i := range kfs {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			qsets[i] = features.ExtractAll(kfs[i].Image)
-		}(i)
-	}
-	wg.Wait()
-	return e.searchVideoSets(qsets, opt)
-}
-
-// searchVideoSets aligns pre-extracted query descriptor sequences against
-// every stored video.
-func (e *Engine) searchVideoSets(qsets []*features.Set, opt SearchOptions) ([]VideoMatch, error) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-
-	// Group stored frames by video, ordered by frame index.
-	byVideo := make(map[int64][]*frameEntry)
-	for _, en := range e.cache {
-		byVideo[en.videoID] = append(byVideo[en.videoID], en)
-	}
-	kinds := opt.kinds()
-	var out []VideoMatch
-	for vid, ens := range byVideo {
-		sort.Slice(ens, func(i, j int) bool { return ens[i].frameIdx < ens[j].frameIdx })
-		cost := func(i, j int) float64 {
-			return fixedScaleDistance(qsets[i], ens[j].set, kinds)
-		}
-		d := similarity.DTW(len(qsets), len(ens), cost)
-		out = append(out, VideoMatch{VideoID: vid, VideoName: e.vname[vid], Distance: d})
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Distance != out[j].Distance {
-			return out[i].Distance < out[j].Distance
-		}
-		return out[i].VideoID < out[j].VideoID
-	})
-	if opt.K > 0 && opt.K < len(out) {
-		out = out[:opt.K]
-	}
-	return out, nil
-}
-
 // fixedKindScale brings each feature's raw distance to a comparable unit
 // magnitude for use inside DTW cost functions, where per-candidate min-max
 // normalisation is not available.
@@ -565,63 +497,14 @@ func fixedScaleDistance(a, b *features.Set, kinds []features.Kind) float64 {
 	return sum / float64(n)
 }
 
-// BestSingleFrameVideoSearch ranks videos by the single best frame-to-
-// frame distance instead of DP alignment (the DP ablation baseline).
-func (e *Engine) BestSingleFrameVideoSearch(qsets []*features.Set, opt SearchOptions) ([]VideoMatch, error) {
-	if err := e.warmCache(); err != nil {
-		return nil, err
-	}
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	kinds := opt.kinds()
-	best := make(map[int64]float64)
-	for _, en := range e.cache {
-		for _, q := range qsets {
-			d := fixedScaleDistance(q, en.set, kinds)
-			if cur, ok := best[en.videoID]; !ok || d < cur {
-				best[en.videoID] = d
-			}
-		}
-	}
-	out := make([]VideoMatch, 0, len(best))
-	for vid, d := range best {
-		out = append(out, VideoMatch{VideoID: vid, VideoName: e.vname[vid], Distance: d})
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Distance != out[j].Distance {
-			return out[i].Distance < out[j].Distance
-		}
-		return out[i].VideoID < out[j].VideoID
-	})
-	if opt.K > 0 && opt.K < len(out) {
-		out = out[:opt.K]
-	}
-	return out, nil
-}
-
 // ExtractQuerySets is a helper for evaluation harnesses: extract
 // descriptor sets for a batch of frames in parallel.
 func (e *Engine) ExtractQuerySets(frames []*imaging.Image) []*features.Set {
 	out := make([]*features.Set, len(frames))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, e.workers())
-	for i := range frames {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			out[i] = features.ExtractAll(frames[i])
-		}(i)
-	}
-	wg.Wait()
+	parallelFor(len(frames), e.workers(), func(i int) {
+		out[i] = features.ExtractAll(frames[i])
+	})
 	return out
-}
-
-// SearchWithSet runs the frame search with pre-extracted query descriptors
-// (evaluation harness; avoids re-extracting per feature configuration).
-func (e *Engine) SearchWithSet(qset *features.Set, qbucket rangeindex.Range, opt SearchOptions) ([]Match, error) {
-	return e.searchSet(qset, qbucket, opt)
 }
 
 // CacheSize reports the number of cached (scoreable) key frames.
@@ -631,5 +514,8 @@ func (e *Engine) CacheSize() (int, error) {
 	}
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	return len(e.cache), nil
+	return e.numCached(), nil
 }
+
+// NumShards reports the fixed search-shard count chosen at Open.
+func (e *Engine) NumShards() int { return len(e.shards) }

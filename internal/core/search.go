@@ -1,0 +1,549 @@
+// Query-side pipeline: the concurrent sharded scoring path behind every
+// search entry point, plus the retained single-goroutine reference
+// implementation the equivalence tests and benchmarks compare against.
+//
+// A frame search runs in two parallel phases over the engine's fixed cache
+// shards (see DESIGN.md):
+//
+//  1. scan — each shard worker prunes its own range-index shard by the
+//     query bucket, computes all requested per-feature distances into one
+//     flat shard-local buffer, and (for min-max fusion) folds each
+//     feature's running min/max into a shard-local MinMaxScaler.
+//  2. select — per-candidate fused distances are produced from the merged
+//     normalisation state and pushed through one bounded top-K max-heap
+//     per shard; the shard heaps merge into the final ranking.
+//
+// No phase materialises one []float64 per feature per query, and no phase
+// fully sorts the candidate set: selection is O(n log k) per shard.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"cbvr/internal/features"
+	"cbvr/internal/imaging"
+	"cbvr/internal/keyframe"
+	"cbvr/internal/rangeindex"
+	"cbvr/internal/similarity"
+)
+
+// missingDistance ranks candidates with an absent stored descriptor last.
+const missingDistance = 1e9
+
+// searchWorkers resolves the per-call scoring parallelism: the call
+// override, else the engine default, clamped to the shard count (more
+// workers than shards cannot help).
+func (e *Engine) searchWorkers(opt *SearchOptions) int {
+	w := opt.Workers
+	if w <= 0 {
+		w = e.workers()
+	}
+	if w > len(e.shards) {
+		w = len(e.shards)
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// parallelFor runs fn(i) for i in [0,n) across at most workers
+// goroutines, pulling indices from a shared counter so uneven work
+// self-balances. workers <= 1 runs inline on the calling goroutine.
+func parallelFor(n, workers int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// SearchFrame ranks stored key frames against a query frame: extract the
+// query's descriptors, prune candidates through the sharded range index,
+// score per feature in parallel, fuse and select the top K.
+func (e *Engine) SearchFrame(query *imaging.Image, opt SearchOptions) ([]Match, error) {
+	if err := e.warmCache(); err != nil {
+		return nil, err
+	}
+	qset := features.ExtractAll(query)
+	qbucket := QueryBucket(query)
+	return e.searchSet(qset, qbucket, opt)
+}
+
+// SearchWithSet runs the frame search with pre-extracted query descriptors
+// (evaluation harness; avoids re-extracting per feature configuration).
+func (e *Engine) SearchWithSet(qset *features.Set, qbucket rangeindex.Range, opt SearchOptions) ([]Match, error) {
+	return e.searchSet(qset, qbucket, opt)
+}
+
+// scored pairs one candidate with its per-kind raw distances; the row
+// aliases the owning shard's flat buffer.
+type scored struct {
+	en *frameEntry
+	d  []float64
+}
+
+// shardPart is one shard worker's scan output.
+type shardPart struct {
+	cands   []scored
+	scalers []similarity.MinMaxScaler // per kind; nil unless min-max fusion
+}
+
+// searchSet is the scoring half of SearchFrame: the concurrent sharded
+// pipeline. It is deterministic — identical rankings and distances at any
+// worker count, matching searchSetReference.
+func (e *Engine) searchSet(qset *features.Set, qbucket rangeindex.Range, opt SearchOptions) ([]Match, error) {
+	if err := e.warmCache(); err != nil {
+		return nil, err
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+
+	kinds := opt.kinds()
+	qds := make([]features.Descriptor, len(kinds))
+	for ki, kind := range kinds {
+		if qds[ki] = qset.Get(kind); qds[ki] == nil {
+			return nil, fmt.Errorf("core: query lacks %v descriptor", kind)
+		}
+	}
+
+	nShards := len(e.shards)
+	workers := e.searchWorkers(&opt)
+	needScalers := len(kinds) > 1 && opt.Fusion == FusionMinMax
+
+	// Phase 1: shard-local scan — prune, score, observe min/max.
+	parts := make([]shardPart, nShards)
+	errs := make([]error, nShards)
+	parallelFor(nShards, workers, func(si int) {
+		parts[si], errs[si] = e.scanShard(si, kinds, qds, qbucket, opt.NoPruning, needScalers)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Flatten to one candidate view, remembering each shard's range so
+	// selection can stay shard-parallel.
+	total := 0
+	for si := range parts {
+		total += len(parts[si].cands)
+	}
+	if total == 0 {
+		return nil, nil
+	}
+	all := make([]scored, 0, total)
+	bounds := make([][2]int, nShards)
+	for si := range parts {
+		start := len(all)
+		all = append(all, parts[si].cands...)
+		bounds[si] = [2]int{start, len(all)}
+	}
+
+	k := opt.K
+	if k <= 0 || k > total {
+		k = total
+	}
+
+	// Fused distance per candidate. Single feature: the raw distance.
+	// Min-max: streamed normalisation via the joined shard scalers.
+	// RRF: global per-feature ranks (computed below), rescaled to [0,1].
+	var fusedAt func(g int) float64
+	switch {
+	case len(kinds) == 1:
+		fusedAt = func(g int) float64 { return all[g].d[0] }
+	case opt.Fusion == FusionMinMax:
+		scalers := make([]similarity.MinMaxScaler, len(kinds))
+		for ki := range scalers {
+			scalers[ki] = similarity.NewMinMaxScaler()
+		}
+		for si := range parts {
+			if parts[si].scalers == nil {
+				continue
+			}
+			for ki := range scalers {
+				scalers[ki].Join(parts[si].scalers[ki])
+			}
+		}
+		ws := similarity.FusionWeights(opt.Weights, len(kinds))
+		fusedAt = func(g int) float64 {
+			var sum float64
+			for ki, dv := range all[g].d {
+				sum += ws[ki] * scalers[ki].Scale(dv)
+			}
+			return sum
+		}
+	default:
+		fused := rrfScores(all, len(kinds), workers)
+		fusedAt = func(g int) float64 { return fused[g] }
+	}
+
+	// Phase 2: bounded top-K selection, one heap per shard, then merge.
+	heaps := make([]*similarity.TopK, nShards)
+	parallelFor(nShards, workers, func(si int) {
+		lo, hi := bounds[si][0], bounds[si][1]
+		if lo == hi {
+			return
+		}
+		h := similarity.NewTopK(k)
+		for g := lo; g < hi; g++ {
+			h.Push(similarity.Ranked{ID: all[g].en.id, Distance: fusedAt(g)})
+		}
+		heaps[si] = h
+	})
+	final := similarity.NewTopK(k)
+	for _, h := range heaps {
+		final.Merge(h)
+	}
+
+	ranked := final.Sorted()
+	out := make([]Match, len(ranked))
+	for i, r := range ranked {
+		en := e.getEntry(r.ID)
+		out[i] = Match{
+			KeyFrameID: en.id,
+			VideoID:    en.videoID,
+			VideoName:  e.vname[en.videoID],
+			FrameIndex: en.frameIdx,
+			Distance:   r.Distance,
+		}
+	}
+	return out, nil
+}
+
+// scanShard scores one cache shard's candidates against the query.
+// Callers must hold e.mu for reading.
+func (e *Engine) scanShard(si int, kinds []features.Kind, qds []features.Descriptor,
+	qbucket rangeindex.Range, noPruning, needScalers bool) (shardPart, error) {
+	ents := e.shards[si]
+	var sel []*frameEntry
+	if noPruning {
+		sel = make([]*frameEntry, 0, len(ents))
+		for _, en := range ents {
+			sel = append(sel, en)
+		}
+	} else {
+		ids := e.index.Shard(si).Candidates(qbucket)
+		sel = make([]*frameEntry, 0, len(ids))
+		for _, id := range ids {
+			if en := ents[id]; en != nil {
+				sel = append(sel, en)
+			}
+		}
+	}
+	if len(sel) == 0 {
+		return shardPart{}, nil
+	}
+
+	nk := len(kinds)
+	buf := make([]float64, len(sel)*nk) // one flat buffer per shard, all kinds
+	part := shardPart{cands: make([]scored, len(sel))}
+	if needScalers {
+		part.scalers = make([]similarity.MinMaxScaler, nk)
+		for ki := range part.scalers {
+			part.scalers[ki] = similarity.NewMinMaxScaler()
+		}
+	}
+	for i, en := range sel {
+		row := buf[i*nk : (i+1)*nk : (i+1)*nk]
+		for ki, kind := range kinds {
+			cd := en.set.Get(kind)
+			if cd == nil {
+				row[ki] = missingDistance // missing stored descriptor ranks last
+				continue
+			}
+			d, err := qds[ki].DistanceTo(cd)
+			if err != nil {
+				return shardPart{}, err
+			}
+			row[ki] = d
+		}
+		if part.scalers != nil {
+			for ki, dv := range row {
+				part.scalers[ki].Observe(dv)
+			}
+		}
+		part.cands[i] = scored{en: en, d: row}
+	}
+	return part, nil
+}
+
+// rrfScores reproduces similarity.RRF + Normalize over the flattened
+// candidate set. Per kind, candidates are ranked by (distance, key-frame
+// ID) — the same order the reference's stable sort yields over its
+// ID-sorted candidate list — and each contributes -1/(C+rank). The
+// per-kind sorts run in parallel; accumulation stays in kind order so the
+// floating-point sum matches the reference bit for bit.
+func rrfScores(all []scored, nk, workers int) []float64 {
+	n := len(all)
+	orders := make([][]int32, nk)
+	parallelFor(nk, workers, func(ki int) {
+		idx := make([]int32, n)
+		for i := range idx {
+			idx[i] = int32(i)
+		}
+		sort.Slice(idx, func(a, b int) bool {
+			da, db := all[idx[a]].d[ki], all[idx[b]].d[ki]
+			if da != db {
+				return da < db
+			}
+			return all[idx[a]].en.id < all[idx[b]].en.id
+		})
+		orders[ki] = idx
+	})
+	score := make([]float64, n)
+	for ki := 0; ki < nk; ki++ {
+		for rank, g := range orders[ki] {
+			score[g] -= 1 / (float64(similarity.RRFConstant) + float64(rank+1))
+		}
+	}
+	// RRF scores are negated; rescale into [0,1] so reported combined
+	// distances read like the single-feature ones.
+	m := similarity.NewMinMaxScaler()
+	for _, s := range score {
+		m.Observe(s)
+	}
+	for i, s := range score {
+		score[i] = m.Scale(s)
+	}
+	return score
+}
+
+// searchSetReference is the retained naive implementation: a single
+// goroutine scans every cached entry, materialises one full distance list
+// per feature, fuses with the batch similarity helpers and fully sorts
+// the ranking. The sharded pipeline must reproduce its output exactly; it
+// exists for equivalence tests and as the benchmark baseline.
+func (e *Engine) searchSetReference(qset *features.Set, qbucket rangeindex.Range, opt SearchOptions) ([]Match, error) {
+	if err := e.warmCache(); err != nil {
+		return nil, err
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+
+	// Validate query descriptors before scanning, in the same order the
+	// sharded pipeline does, so the two implementations agree even on the
+	// missing-descriptor + zero-candidate edge.
+	kinds := opt.kinds()
+	for _, kind := range kinds {
+		if qset.Get(kind) == nil {
+			return nil, fmt.Errorf("core: query lacks %v descriptor", kind)
+		}
+	}
+
+	var cands []*frameEntry
+	for _, sh := range e.shards {
+		for _, en := range sh {
+			if opt.NoPruning || en.bucket.Overlaps(qbucket) {
+				cands = append(cands, en)
+			}
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].id < cands[j].id })
+	if len(cands) == 0 {
+		return nil, nil
+	}
+
+	lists := make([][]float64, len(kinds))
+	for ki, kind := range kinds {
+		qd := qset.Get(kind)
+		dist := make([]float64, len(cands))
+		for i, en := range cands {
+			cd := en.set.Get(kind)
+			if cd == nil {
+				dist[i] = missingDistance
+				continue
+			}
+			d, err := qd.DistanceTo(cd)
+			if err != nil {
+				return nil, err
+			}
+			dist[i] = d
+		}
+		lists[ki] = dist
+	}
+	var fused []float64
+	if len(kinds) == 1 {
+		fused = lists[0]
+	} else if opt.Fusion == FusionMinMax {
+		for _, l := range lists {
+			similarity.Normalize(l)
+		}
+		fused = similarity.Fuse(lists, opt.Weights)
+	} else {
+		fused = similarity.Normalize(similarity.RRF(lists, similarity.RRFConstant))
+	}
+
+	ids := make([]int64, len(cands))
+	for i, en := range cands {
+		ids[i] = en.id
+	}
+	ranked := similarity.Rank(ids, fused)
+	k := opt.K
+	if k <= 0 || k > len(ranked) {
+		k = len(ranked)
+	}
+	out := make([]Match, k)
+	for i := 0; i < k; i++ {
+		en := e.getEntry(ranked[i].ID)
+		out[i] = Match{
+			KeyFrameID: en.id,
+			VideoID:    en.videoID,
+			VideoName:  e.vname[en.videoID],
+			FrameIndex: en.frameIdx,
+			Distance:   ranked[i].Distance,
+		}
+	}
+	return out, nil
+}
+
+// SearchWithSetReference runs the retained naive full-sort search (single
+// goroutine, no heap selection). Exported for equivalence tests and as
+// the speedup baseline in benchmarks.
+func (e *Engine) SearchWithSetReference(qset *features.Set, qbucket rangeindex.Range, opt SearchOptions) ([]Match, error) {
+	return e.searchSetReference(qset, qbucket, opt)
+}
+
+// SearchVideo ranks stored videos against a query clip using the paper's
+// dynamic-programming sequence similarity: the query's key-frame
+// descriptor sequence is aligned (DTW) against each stored video's
+// key-frame sequence, with per-pair cost the equally weighted sum of
+// fixed-scale feature distances.
+func (e *Engine) SearchVideo(queryFrames []*imaging.Image, opt SearchOptions) ([]VideoMatch, error) {
+	if err := e.warmCache(); err != nil {
+		return nil, err
+	}
+	kex := keyframe.Extractor{Threshold: e.opts.KeyframeThreshold}
+	kfs, err := kex.Extract(queryFrames)
+	if err != nil {
+		return nil, err
+	}
+	if len(kfs) == 0 {
+		return nil, errors.New("core: query clip has no frames")
+	}
+	qsets := make([]*features.Set, len(kfs))
+	parallelFor(len(kfs), e.workers(), func(i int) {
+		qsets[i] = features.ExtractAll(kfs[i].Image)
+	})
+	return e.searchVideoSets(qsets, opt)
+}
+
+// searchVideoSets aligns pre-extracted query descriptor sequences against
+// every stored video, one DTW alignment per worker at a time, then
+// heap-selects the K closest videos.
+func (e *Engine) searchVideoSets(qsets []*features.Set, opt SearchOptions) ([]VideoMatch, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+
+	// Group stored frames by video, ordered by frame index.
+	byVideo := make(map[int64][]*frameEntry)
+	for _, sh := range e.shards {
+		for _, en := range sh {
+			byVideo[en.videoID] = append(byVideo[en.videoID], en)
+		}
+	}
+	vids := make([]int64, 0, len(byVideo))
+	for vid := range byVideo {
+		vids = append(vids, vid)
+	}
+	sort.Slice(vids, func(i, j int) bool { return vids[i] < vids[j] })
+
+	kinds := opt.kinds()
+	dists := make([]float64, len(vids))
+	// Fan out over videos, not shards, so the parallelism bound is the
+	// video count (parallelFor clamps), not the engine's shard count.
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = e.workers()
+	}
+	parallelFor(len(vids), workers, func(i int) {
+		ens := byVideo[vids[i]]
+		sort.Slice(ens, func(a, b int) bool { return ens[a].frameIdx < ens[b].frameIdx })
+		cost := func(qi, cj int) float64 {
+			return fixedScaleDistance(qsets[qi], ens[cj].set, kinds)
+		}
+		dists[i] = similarity.DTW(len(qsets), len(ens), cost)
+	})
+	return e.selectVideos(vids, dists, opt.K), nil
+}
+
+// BestSingleFrameVideoSearch ranks videos by the single best frame-to-
+// frame distance instead of DP alignment (the DP ablation baseline). Each
+// shard worker keeps a shard-local per-video minimum; the minima merge
+// exactly, so results are identical at any worker count.
+func (e *Engine) BestSingleFrameVideoSearch(qsets []*features.Set, opt SearchOptions) ([]VideoMatch, error) {
+	if err := e.warmCache(); err != nil {
+		return nil, err
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	kinds := opt.kinds()
+	locals := make([]map[int64]float64, len(e.shards))
+	parallelFor(len(e.shards), e.searchWorkers(&opt), func(si int) {
+		best := make(map[int64]float64)
+		for _, en := range e.shards[si] {
+			for _, q := range qsets {
+				d := fixedScaleDistance(q, en.set, kinds)
+				if cur, ok := best[en.videoID]; !ok || d < cur {
+					best[en.videoID] = d
+				}
+			}
+		}
+		locals[si] = best
+	})
+	best := make(map[int64]float64)
+	for _, local := range locals {
+		for vid, d := range local {
+			if cur, ok := best[vid]; !ok || d < cur {
+				best[vid] = d
+			}
+		}
+	}
+	vids := make([]int64, 0, len(best))
+	dists := make([]float64, 0, len(best))
+	for vid, d := range best {
+		vids = append(vids, vid)
+		dists = append(dists, d)
+	}
+	return e.selectVideos(vids, dists, opt.K), nil
+}
+
+// selectVideos heap-selects the k closest videos (all when k <= 0) with
+// the deterministic (distance, video ID) tie-break. Callers must hold
+// e.mu for reading (for vname).
+func (e *Engine) selectVideos(vids []int64, dists []float64, k int) []VideoMatch {
+	h := similarity.NewTopK(k)
+	for i, vid := range vids {
+		h.Push(similarity.Ranked{ID: vid, Distance: dists[i]})
+	}
+	ranked := h.Sorted()
+	out := make([]VideoMatch, len(ranked))
+	for i, r := range ranked {
+		out[i] = VideoMatch{VideoID: r.ID, VideoName: e.vname[r.ID], Distance: r.Distance}
+	}
+	return out
+}

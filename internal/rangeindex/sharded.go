@@ -1,0 +1,79 @@
+package rangeindex
+
+import "sort"
+
+// ShardedIndex partitions a range-finder index across a fixed number of
+// shards keyed by frame ID (id mod n). Query-time pruning can then fan out
+// one independent bucket scan per shard — each shard worker touches only
+// its own buckets and takes only its own lock — which is what lets the
+// engine's concurrent search pipeline prune candidates without funnelling
+// every worker through one shared structure.
+type ShardedIndex struct {
+	shards []*Index
+}
+
+// NewSharded returns an empty index split over n shards (n < 1 is
+// clamped to 1).
+func NewSharded(n int) *ShardedIndex {
+	if n < 1 {
+		n = 1
+	}
+	s := &ShardedIndex{shards: make([]*Index, n)}
+	for i := range s.shards {
+		s.shards[i] = New()
+	}
+	return s
+}
+
+// NumShards reports the fixed shard count.
+func (s *ShardedIndex) NumShards() int { return len(s.shards) }
+
+// ShardFor maps a frame ID to its shard number.
+func (s *ShardedIndex) ShardFor(id int64) int {
+	return int(uint64(id) % uint64(len(s.shards)))
+}
+
+// Shard exposes one shard's sub-index for shard-local candidate scans.
+func (s *ShardedIndex) Shard(i int) *Index { return s.shards[i] }
+
+// Insert adds id under the given range bucket in its home shard.
+func (s *ShardedIndex) Insert(id int64, r Range) {
+	s.shards[s.ShardFor(id)].Insert(id, r)
+}
+
+// Remove deletes id from the given bucket, reporting whether it was found.
+func (s *ShardedIndex) Remove(id int64, r Range) bool {
+	return s.shards[s.ShardFor(id)].Remove(id, r)
+}
+
+// Len reports the number of indexed IDs across all shards.
+func (s *ShardedIndex) Len() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.Len()
+	}
+	return n
+}
+
+// Candidates returns the IDs of every frame whose bucket overlaps the
+// query range, across all shards, in ascending ID order. Parallel callers
+// should prefer per-shard Shard(i).Candidates(q) scans; this merged form
+// serves diagnostics and single-threaded paths.
+func (s *ShardedIndex) Candidates(q Range) []int64 {
+	var out []int64
+	for _, sh := range s.shards {
+		out = append(out, sh.Candidates(q)...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// All returns every indexed ID across all shards in ascending order.
+func (s *ShardedIndex) All() []int64 {
+	out := make([]int64, 0, s.Len())
+	for _, sh := range s.shards {
+		out = append(out, sh.All()...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

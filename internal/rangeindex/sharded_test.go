@@ -1,0 +1,104 @@
+package rangeindex
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randRange draws a plausible bucket: one of the fixed tree levels.
+func randRange(rng *rand.Rand) Range {
+	switch rng.Intn(4) {
+	case 0:
+		return Range{0, 255}
+	case 1:
+		lo := 128 * rng.Intn(2)
+		return Range{lo, lo + 127}
+	case 2:
+		lo := 64 * rng.Intn(4)
+		return Range{lo, lo + 63}
+	default:
+		lo := 32 * rng.Intn(8)
+		return Range{lo, lo + 31}
+	}
+}
+
+// TestShardedIndexMatchesFlat inserts the same population into a flat
+// Index and a ShardedIndex and checks Len, Candidates and All agree, as
+// does the union of per-shard candidate scans (the path the search
+// pipeline uses).
+func TestShardedIndexMatchesFlat(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	flat := New()
+	sharded := NewSharded(7)
+	assigned := make(map[int64]Range)
+	for id := int64(1); id <= 400; id++ {
+		r := randRange(rng)
+		flat.Insert(id, r)
+		sharded.Insert(id, r)
+		assigned[id] = r
+	}
+	if flat.Len() != sharded.Len() {
+		t.Fatalf("Len: flat %d sharded %d", flat.Len(), sharded.Len())
+	}
+	queries := []Range{{0, 255}, {0, 127}, {128, 255}, {64, 127}, {96, 127}, {224, 255}, {0, 31}}
+	for _, q := range queries {
+		want := flat.Candidates(q)
+		got := sharded.Candidates(q)
+		if len(want) != len(got) {
+			t.Fatalf("query %v: flat %d ids, sharded %d", q, len(want), len(got))
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("query %v: id[%d] = %d, want %d", q, i, got[i], want[i])
+			}
+		}
+		// Per-shard scans must partition the merged result with no
+		// duplicates and correct shard ownership.
+		seen := make(map[int64]bool)
+		for s := 0; s < sharded.NumShards(); s++ {
+			for _, id := range sharded.Shard(s).Candidates(q) {
+				if seen[id] {
+					t.Fatalf("query %v: id %d in two shards", q, id)
+				}
+				if sharded.ShardFor(id) != s {
+					t.Fatalf("id %d scanned in shard %d, owned by %d", id, s, sharded.ShardFor(id))
+				}
+				seen[id] = true
+			}
+		}
+		if len(seen) != len(want) {
+			t.Fatalf("query %v: per-shard union %d ids, want %d", q, len(seen), len(want))
+		}
+	}
+
+	// Remove half the population from both and recheck totals.
+	for id := int64(1); id <= 400; id += 2 {
+		if !flat.Remove(id, assigned[id]) || !sharded.Remove(id, assigned[id]) {
+			t.Fatalf("remove %d failed", id)
+		}
+	}
+	if flat.Len() != 200 || sharded.Len() != 200 {
+		t.Fatalf("post-remove Len: flat %d sharded %d", flat.Len(), sharded.Len())
+	}
+	all := sharded.All()
+	if len(all) != 200 {
+		t.Fatalf("All() = %d ids", len(all))
+	}
+	for _, id := range all {
+		if id%2 != 0 {
+			t.Fatalf("removed id %d still indexed", id)
+		}
+	}
+}
+
+// TestShardedIndexClampsShardCount verifies n < 1 degrades to one shard.
+func TestShardedIndexClampsShardCount(t *testing.T) {
+	s := NewSharded(0)
+	if s.NumShards() != 1 {
+		t.Fatalf("NumShards = %d", s.NumShards())
+	}
+	s.Insert(9, Range{0, 127})
+	if got := s.Candidates(Range{0, 255}); len(got) != 1 || got[0] != 9 {
+		t.Fatalf("Candidates = %v", got)
+	}
+}

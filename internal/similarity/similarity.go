@@ -184,44 +184,80 @@ func DTWWindow(n, m, window int, cost func(i, j int) float64) float64 {
 // slice. Constant score lists become all zeros (every candidate equally
 // good). Infinite entries map to 1.
 func Normalize(scores []float64) []float64 {
-	lo, hi := math.Inf(1), math.Inf(-1)
+	m := NewMinMaxScaler()
 	for _, s := range scores {
-		if math.IsInf(s, 0) || math.IsNaN(s) {
-			continue
-		}
-		if s < lo {
-			lo = s
-		}
-		if s > hi {
-			hi = s
-		}
+		m.Observe(s)
 	}
-	if lo > hi { // no finite scores
-		for i := range scores {
-			scores[i] = 1
-		}
-		return scores
+	for i, s := range scores {
+		scores[i] = m.Scale(s)
+	}
+	return scores
+}
+
+// MinMaxScaler is the streaming form of Normalize: it accumulates the
+// finite min/max of a score population (possibly shard by shard, joined
+// afterwards) and then rescales individual values with exactly Normalize's
+// per-element arithmetic. This lets the sharded search pipeline min-max
+// normalise per-feature distances without ever materialising one
+// []float64 per feature per query — each shard observes its own distances
+// as it computes them, the shards' scalers are joined, and the fused score
+// is produced candidate by candidate.
+type MinMaxScaler struct {
+	Lo, Hi float64
+}
+
+// NewMinMaxScaler returns a scaler that has observed nothing (Lo > Hi).
+func NewMinMaxScaler() MinMaxScaler {
+	return MinMaxScaler{Lo: math.Inf(1), Hi: math.Inf(-1)}
+}
+
+// Observe folds one score into the running min/max. Infinities and NaNs
+// are ignored, matching Normalize.
+func (m *MinMaxScaler) Observe(v float64) {
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		return
+	}
+	if v < m.Lo {
+		m.Lo = v
+	}
+	if v > m.Hi {
+		m.Hi = v
+	}
+}
+
+// Join widens m to cover everything o observed (shard merge).
+func (m *MinMaxScaler) Join(o MinMaxScaler) {
+	if o.Lo < m.Lo {
+		m.Lo = o.Lo
+	}
+	if o.Hi > m.Hi {
+		m.Hi = o.Hi
+	}
+}
+
+// Scale maps one observed value into [0,1] with Normalize's exact
+// per-element rules: non-finite values map to 1, an empty or constant
+// population maps finite values to 1 resp. 0, and results are clamped.
+func (m MinMaxScaler) Scale(v float64) float64 {
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		return 1
+	}
+	if m.Lo > m.Hi { // nothing finite observed
+		return 1
 	}
 	// Compute with halved operands so hi-lo cannot overflow to +Inf for
 	// extreme inputs, and clamp for safety.
-	span2 := hi/2 - lo/2
-	for i, s := range scores {
-		switch {
-		case math.IsInf(s, 0) || math.IsNaN(s):
-			scores[i] = 1
-		case span2 == 0:
-			scores[i] = 0
-		default:
-			v := (s/2 - lo/2) / span2
-			if v < 0 {
-				v = 0
-			} else if v > 1 {
-				v = 1
-			}
-			scores[i] = v
-		}
+	span2 := m.Hi/2 - m.Lo/2
+	if span2 == 0 {
+		return 0
 	}
-	return scores
+	s := (v/2 - m.Lo/2) / span2
+	if s < 0 {
+		s = 0
+	} else if s > 1 {
+		s = 1
+	}
+	return s
 }
 
 // Fuse combines k normalised per-feature distance lists over the same n
@@ -235,13 +271,34 @@ func Fuse(lists [][]float64, weights []float64) []float64 {
 	for _, l := range lists {
 		mustSameLen(len(l), n)
 	}
+	ws := FusionWeights(weights, len(lists))
+	out := make([]float64, n)
+	for li, l := range lists {
+		w := ws[li]
+		if w == 0 {
+			continue
+		}
+		for i, v := range l {
+			out[i] += w * v
+		}
+	}
+	return out
+}
+
+// FusionWeights resolves per-feature fusion weights to the normalised
+// (sum-to-one) form Fuse applies: nil means equal weights, a length
+// mismatch panics, and an all-zero weight vector yields all zeros (every
+// candidate fuses to 0). Both the batch Fuse and the streamed per-shard
+// fusion in the search pipeline share this resolution so their weighted
+// sums are computed from identical coefficients.
+func FusionWeights(weights []float64, n int) []float64 {
 	if weights == nil {
-		weights = make([]float64, len(lists))
+		weights = make([]float64, n)
 		for i := range weights {
 			weights[i] = 1
 		}
 	}
-	mustSameLen(len(weights), len(lists))
+	mustSameLen(len(weights), n)
 	var wsum float64
 	for _, w := range weights {
 		wsum += w
@@ -250,11 +307,8 @@ func Fuse(lists [][]float64, weights []float64) []float64 {
 	if wsum == 0 {
 		return out
 	}
-	for li, l := range lists {
-		w := weights[li] / wsum
-		for i, v := range l {
-			out[i] += w * v
-		}
+	for i, w := range weights {
+		out[i] = w / wsum
 	}
 	return out
 }

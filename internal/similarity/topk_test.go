@@ -1,0 +1,92 @@
+package similarity
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// rankedEqual compares two Ranked slices exactly.
+func rankedEqual(a, b []Ranked) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestTopKMatchesFullRank pushes shuffled candidates through bounded heaps
+// of several capacities and checks the selection equals the first k rows
+// of a full Rank.
+func TestTopKMatchesFullRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const n = 500
+	ids := make([]int64, n)
+	dists := make([]float64, n)
+	for i := range ids {
+		ids[i] = int64(i + 1)
+		// Coarse quantisation forces plenty of distance ties so the ID
+		// tie-break is actually exercised.
+		dists[i] = float64(rng.Intn(40)) / 10
+	}
+	full := Rank(ids, dists)
+
+	for _, k := range []int{1, 2, 7, 100, n, n + 50, 0, -3} {
+		h := NewTopK(k)
+		for _, p := range rng.Perm(n) {
+			h.Push(Ranked{ID: ids[p], Distance: dists[p]})
+		}
+		want := full
+		if k > 0 && k < n {
+			want = full[:k]
+		}
+		if got := h.Sorted(); !rankedEqual(got, want) {
+			t.Errorf("k=%d: selection diverges from full sort\n got %v\nwant %v", k, got[:min(5, len(got))], want[:min(5, len(want))])
+		}
+		if k > 0 && h.Len() != min(k, n) {
+			t.Errorf("k=%d: Len = %d", k, h.Len())
+		}
+	}
+}
+
+// TestTopKMerge splits a stream across several heaps (as shard workers do)
+// and checks the merged selection equals a single-heap run.
+func TestTopKMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n, k, shards = 300, 25, 8
+	single := NewTopK(k)
+	parts := make([]*TopK, shards)
+	for i := range parts {
+		parts[i] = NewTopK(k)
+	}
+	for i := 0; i < n; i++ {
+		r := Ranked{ID: int64(i), Distance: rng.Float64()}
+		single.Push(r)
+		parts[i%shards].Push(r)
+	}
+	merged := NewTopK(k)
+	for _, p := range parts {
+		merged.Merge(p)
+	}
+	if !rankedEqual(merged.Sorted(), single.Sorted()) {
+		t.Error("merged shard heaps diverge from single heap")
+	}
+}
+
+// TestTopKWorst checks the early-exit helper reflects the heap root.
+func TestTopKWorst(t *testing.T) {
+	h := NewTopK(2)
+	if _, ok := h.Worst(); ok {
+		t.Error("Worst on empty heap reported ok")
+	}
+	h.Push(Ranked{ID: 1, Distance: 0.5})
+	h.Push(Ranked{ID: 2, Distance: 0.1})
+	h.Push(Ranked{ID: 3, Distance: 0.3})
+	w, ok := h.Worst()
+	if !ok || w.ID != 3 || w.Distance != 0.3 {
+		t.Errorf("Worst = %+v, ok=%v; want ID 3 distance 0.3", w, ok)
+	}
+}
