@@ -211,6 +211,33 @@ func BenchmarkPipeline_IngestVideo(b *testing.B) {
 	}
 }
 
+// BenchmarkPipeline_IngestSharedPlanes ingests a camera-resolution clip
+// so per-key-frame feature extraction — the part the shared analysis-plane
+// pass accelerates — dominates the measurement. Compare against
+// BenchmarkExtractAllReference × key frames (internal/features) for the
+// before/after trajectory.
+func BenchmarkPipeline_IngestSharedPlanes(b *testing.B) {
+	dir := b.TempDir()
+	sys, err := cbvr.Open(filepath.Join(dir, "ingest-shared.db"), cbvr.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sys.Close()
+	v := synthvid.Generate(synthvid.Sports, synthvid.Config{
+		Width: 320, Height: 240, Frames: 24, Shots: 4, Seed: 5,
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sys.IngestFrames(fmt.Sprintf("shared_clip_%d", i), v.Frames, 12)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(len(res.KeyFrameIDs)), "keyframes")
+		}
+	}
+}
+
 func BenchmarkPipeline_KeyframeExtraction(b *testing.B) {
 	v := synthvid.Generate(synthvid.Sports, synthvid.Config{Frames: 48, Shots: 5, Seed: 6})
 	b.ResetTimer()

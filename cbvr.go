@@ -187,15 +187,18 @@ func GenerateCorpus(perCategory int, cfg VideoConfig) map[string][]*Image {
 
 // DescribeFrame extracts all seven descriptors of a frame and returns
 // their paper-format strings keyed by feature kind, plus the §4.2 range
-// bucket — the output shown in the paper's Fig. 8.
+// bucket — the output shown in the paper's Fig. 8. The descriptors and
+// the bucket come from one shared analysis-plane pass (one rescale, one
+// gray conversion for everything).
 func DescribeFrame(im *Image) (strings map[FeatureKind]string, min, max int) {
-	set := features.ExtractAll(im)
+	planes := features.NewPlanes(im)
+	set := planes.ExtractAll()
 	strings = make(map[FeatureKind]string, NumFeatures)
 	for _, k := range features.AllKinds() {
 		if d := set.Get(k); d != nil {
 			strings[k] = d.String()
 		}
 	}
-	b := core.QueryBucket(im)
+	b := core.BucketFromPlanes(planes)
 	return strings, b.Min, b.Max
 }

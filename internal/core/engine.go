@@ -260,15 +260,18 @@ func (e *Engine) IngestVideo(name string, container []byte) (*IngestResult, erro
 			defer wg.Done()
 			defer func() { <-sem }()
 			im := kfs[i].Image
-			set := features.ExtractAll(im)
-			hist := im.Rescale(features.AnalysisSize, features.AnalysisSize).GrayHistogram()
-			min, max := rangeindex.AssignFaithful(&hist)
+			// One shared analysis-plane pass per key frame: the seven
+			// descriptors and the §4.2 range bucket all come from the same
+			// planes, so the frame is rescaled exactly once end-to-end.
+			planes := features.NewPlanes(im)
+			set := planes.ExtractAll()
+			bucket := BucketFromPlanes(planes)
 			var buf bytes.Buffer
 			if err := im.EncodeJPEG(&buf, e.opts.JPEGQuality); err != nil {
 				errCh <- err
 				return
 			}
-			exts[i] = extracted{set: set, bucket: rangeindex.Range{Min: min, Max: max}, jpeg: buf.Bytes()}
+			exts[i] = extracted{set: set, bucket: bucket, jpeg: buf.Bytes()}
 		}(i)
 	}
 	wg.Wait()
@@ -454,6 +457,15 @@ func QueryBucket(im *imaging.Image) rangeindex.Range {
 	return rangeindex.Range{Min: min, Max: max}
 }
 
+// BucketFromPlanes computes the §4.2 range bucket from shared analysis
+// planes. The planes' gray histogram equals the rescaled frame's
+// GrayHistogram, so the bucket matches QueryBucket without a second
+// rescale.
+func BucketFromPlanes(p *features.Planes) rangeindex.Range {
+	min, max := rangeindex.AssignFaithful(&p.GrayHist)
+	return rangeindex.Range{Min: min, Max: max}
+}
+
 func (opt *SearchOptions) kinds() []features.Kind {
 	if len(opt.Kinds) == 0 {
 		return features.AllKinds()
@@ -502,7 +514,7 @@ func fixedScaleDistance(a, b *features.Set, kinds []features.Kind) float64 {
 func (e *Engine) ExtractQuerySets(frames []*imaging.Image) []*features.Set {
 	out := make([]*features.Set, len(frames))
 	parallelFor(len(frames), e.workers(), func(i int) {
-		out[i] = features.ExtractAll(frames[i])
+		out[i] = features.ExtractAllShared(frames[i])
 	})
 	return out
 }

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"testing"
+
+	"cbvr/internal/imaging"
+	"cbvr/internal/synthvid"
+
+	"cbvr/internal/features"
+)
+
+// TestBucketFromPlanesMatchesQueryBucket pins the shared-plane range
+// bucket to the naive rescale-then-histogram QueryBucket.
+func TestBucketFromPlanesMatchesQueryBucket(t *testing.T) {
+	v := genVideo(synthvid.Sports, 11)
+	for i, f := range v.Frames {
+		if got, want := BucketFromPlanes(features.NewPlanes(f)), QueryBucket(f); got != want {
+			t.Fatalf("frame %d: planes bucket %+v, QueryBucket %+v", i, got, want)
+		}
+	}
+}
+
+// TestIngestRescalesEachKeyFrameOnce verifies the end-to-end shared-plane
+// guarantee with the imaging rescale counter: ingest performs one
+// analysis rescale per raw frame for §4.1 key-frame selection (the naive
+// signature) plus exactly one per key frame for all seven descriptors and
+// the §4.2 range histogram together — not the eight per key frame the
+// naive extractors would pay.
+func TestIngestRescalesEachKeyFrameOnce(t *testing.T) {
+	eng := openTestEngine(t)
+	v := genVideo(synthvid.Movie, 12)
+	start := imaging.RescaleCalls()
+	res, err := eng.IngestFrames("movie_00", v.Frames, v.FPS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := imaging.RescaleCalls() - start
+	want := int64(res.NumFrames + len(res.KeyFrameIDs))
+	if got != want {
+		t.Errorf("ingest performed %d rescales for %d frames / %d key frames, want %d (frames + key frames)",
+			got, res.NumFrames, len(res.KeyFrameIDs), want)
+	}
+	if len(res.KeyFrameIDs) < 2 {
+		t.Fatalf("degenerate fixture: %d key frames", len(res.KeyFrameIDs))
+	}
+}
+
+// TestSearchFrameSingleRescale checks the query path: one rescale covers
+// both the query descriptors and the query bucket.
+func TestSearchFrameSingleRescale(t *testing.T) {
+	eng := openTestEngine(t)
+	ingest(t, eng, "news_00", synthvid.News, 13)
+	q := genVideo(synthvid.News, 14).Frames[0]
+	if _, err := eng.SearchFrame(q, SearchOptions{K: 3}); err != nil {
+		t.Fatal(err)
+	}
+	start := imaging.RescaleCalls()
+	if _, err := eng.SearchFrame(q, SearchOptions{K: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if n := imaging.RescaleCalls() - start; n != 1 {
+		t.Errorf("warm SearchFrame performed %d rescales, want exactly 1", n)
+	}
+}

@@ -89,8 +89,9 @@ func (e *Engine) SearchFrame(query *imaging.Image, opt SearchOptions) ([]Match, 
 	if err := e.warmCache(); err != nil {
 		return nil, err
 	}
-	qset := features.ExtractAll(query)
-	qbucket := QueryBucket(query)
+	planes := features.NewPlanes(query)
+	qset := planes.ExtractAll()
+	qbucket := BucketFromPlanes(planes)
 	return e.searchSet(qset, qbucket, opt)
 }
 
@@ -447,7 +448,7 @@ func (e *Engine) SearchVideo(queryFrames []*imaging.Image, opt SearchOptions) ([
 	}
 	qsets := make([]*features.Set, len(kfs))
 	parallelFor(len(kfs), e.workers(), func(i int) {
-		qsets[i] = features.ExtractAll(kfs[i].Image)
+		qsets[i] = features.ExtractAllShared(kfs[i].Image)
 	})
 	return e.searchVideoSets(qsets, opt)
 }

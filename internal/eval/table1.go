@@ -7,6 +7,7 @@ import (
 	"cbvr/internal/core"
 	"cbvr/internal/features"
 	"cbvr/internal/imaging"
+	"cbvr/internal/rangeindex"
 	"cbvr/internal/synthvid"
 )
 
@@ -154,19 +155,24 @@ func RunTable1(eng *core.Engine, queries []Query) (*Table1Result, error) {
 	}
 	res.KeyFrames = kf
 
-	// Pre-extract query descriptors once; each method call reuses them.
+	// Pre-extract query descriptors and range buckets once from one
+	// shared-plane pass per frame; each method call reuses them.
 	frames := make([]*imaging.Image, len(queries))
 	for i, q := range queries {
 		frames[i] = q.Frame
 	}
 	qsets := eng.ExtractQuerySets(frames)
+	qbuckets := make([]rangeindex.Range, len(queries))
+	for i, q := range queries {
+		qbuckets[i] = core.QueryBucket(q.Frame)
+	}
 
 	maxK := Cutoffs[len(Cutoffs)-1]
 	for _, m := range methods {
 		row := Table1Row{Method: m.Name}
 		per := make([][4]float64, 0, len(queries))
 		for qi, q := range queries {
-			matches, err := eng.SearchWithSet(qsets[qi], core.QueryBucket(q.Frame), core.SearchOptions{
+			matches, err := eng.SearchWithSet(qsets[qi], qbuckets[qi], core.SearchOptions{
 				K:     maxK,
 				Kinds: m.Kinds,
 				// Table 1 measures feature quality; pruning is an

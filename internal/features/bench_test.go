@@ -1,0 +1,131 @@
+// Before/after benchmarks for the shared analysis-plane pipeline:
+// every *Reference benchmark runs the retained naive implementation, its
+// unsuffixed twin the production shared/prefix-sum/pooled path. The two
+// paths are bit-identical (shared_test.go); these benchmarks exist so the
+// speedup stays visible in BENCH_*.json and regressions break the CI
+// bench smoke step (-bench=ExtractAllShared).
+package features
+
+import (
+	"testing"
+
+	"cbvr/internal/imaging"
+)
+
+// benchFrame is a 320×240 structured frame (regions + texture + noise),
+// representative of a decoded key frame that needs the analysis rescale.
+func benchFrame() *imaging.Image {
+	im := structuredFrame(17)
+	big := imaging.New(320, 240)
+	for y := 0; y < big.H; y++ {
+		for x := 0; x < big.W; x++ {
+			r, g, b := im.At(x*im.W/big.W, y*im.H/big.H)
+			big.Set(x, y, r+uint8(x%7), g+uint8(y%5), b)
+		}
+	}
+	return big
+}
+
+func BenchmarkExtractAll(b *testing.B) {
+	im := benchFrame()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ExtractAll(im)
+	}
+}
+
+func BenchmarkExtractAllShared(b *testing.B) {
+	im := benchFrame()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ExtractAllShared(im)
+	}
+}
+
+func BenchmarkExtractAllReference(b *testing.B) {
+	im := benchFrame()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ExtractAllReference(im)
+	}
+}
+
+func BenchmarkNewPlanes(b *testing.B) {
+	im := benchFrame()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		NewPlanes(im)
+	}
+}
+
+// Correlogram: prefix-sum ring counting vs the per-pixel countRing walk.
+
+func BenchmarkExtractCorrelogram(b *testing.B) {
+	im := benchFrame()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ExtractCorrelogram(im)
+	}
+}
+
+func BenchmarkExtractCorrelogramReference(b *testing.B) {
+	im := benchFrame()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ExtractCorrelogramReference(im)
+	}
+}
+
+// Gabor: pooled planes + bounds-check-free convolution vs the naive loop.
+
+func BenchmarkExtractGabor(b *testing.B) {
+	im := benchFrame()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ExtractGabor(im)
+	}
+}
+
+func BenchmarkExtractGaborReference(b *testing.B) {
+	im := benchFrame()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ExtractGaborReference(im)
+	}
+}
+
+// The remaining five extractors share planes but keep their algorithms;
+// the planes variants skip the per-extractor rescale/gray conversion.
+
+func benchWith(b *testing.B, kind Kind) {
+	p := NewPlanes(benchFrame())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ExtractWith(kind, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchKind(b *testing.B, kind Kind) {
+	im := benchFrame()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Extract(kind, im); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtractHistogramWith(b *testing.B)  { benchWith(b, KindHistogram) }
+func BenchmarkExtractHistogramFrame(b *testing.B) { benchKind(b, KindHistogram) }
+func BenchmarkExtractGLCMWith(b *testing.B)       { benchWith(b, KindGLCM) }
+func BenchmarkExtractGLCMFrame(b *testing.B)      { benchKind(b, KindGLCM) }
+func BenchmarkExtractTamuraWith(b *testing.B)     { benchWith(b, KindTamura) }
+func BenchmarkExtractTamuraFrame(b *testing.B)    { benchKind(b, KindTamura) }
+func BenchmarkExtractNaiveWith(b *testing.B)      { benchWith(b, KindNaive) }
+func BenchmarkExtractNaiveFrame(b *testing.B)     { benchKind(b, KindNaive) }
+func BenchmarkExtractRegionsWith(b *testing.B)    { benchWith(b, KindRegions) }
+func BenchmarkExtractRegionsFrame(b *testing.B)   { benchKind(b, KindRegions) }

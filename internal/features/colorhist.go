@@ -21,7 +21,16 @@ type ColorHistogram struct {
 
 // ExtractColorHistogram computes the §4.5 histogram of a frame.
 func ExtractColorHistogram(im *imaging.Image) *ColorHistogram {
-	a := analysisImage(im)
+	return colorHistogramOf(analysisImage(im))
+}
+
+// ExtractColorHistogramWith computes the histogram from shared analysis
+// planes, skipping the rescale.
+func ExtractColorHistogramWith(p *Planes) *ColorHistogram {
+	return colorHistogramOf(p.Analysis)
+}
+
+func colorHistogramOf(a *imaging.Image) *ColorHistogram {
 	h := &ColorHistogram{}
 	for i := 0; i < len(a.Pix); i += 3 {
 		h.Bins[QuantizeRGB(a.Pix[i], a.Pix[i+1], a.Pix[i+2])]++

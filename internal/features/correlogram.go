@@ -3,6 +3,7 @@ package features
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"cbvr/internal/imaging"
 )
@@ -45,14 +46,26 @@ func QuantizeHSV(r, g, b uint8) int {
 }
 
 // ExtractCorrelogram computes the §4.7 descriptor over the 300×300
-// analysis raster.
+// analysis raster using the prefix-sum ring counter.
 func ExtractCorrelogram(im *imaging.Image) *Correlogram {
 	a := analysisImage(im)
+	return correlogramFromQuant(quantizePlane(a), a.W, a.H)
+}
+
+// ExtractCorrelogramWith computes the descriptor from shared analysis
+// planes, reusing the HSV-quantised plane.
+func ExtractCorrelogramWith(p *Planes) *Correlogram {
+	return correlogramFromQuant(p.Quant, p.Analysis.W, p.Analysis.H)
+}
+
+// ExtractCorrelogramReference is the retained naive implementation: a
+// per-pixel countRing walk over every Chebyshev ring, exactly as the
+// paper's pseudo-code does it. It is the bit-identity baseline for the
+// prefix-sum path (see shared_test.go) and the "before" benchmark.
+func ExtractCorrelogramReference(im *imaging.Image) *Correlogram {
+	a := analysisImage(im)
 	w, h := a.W, a.H
-	quant := make([]uint8, w*h)
-	for i, p := 0, 0; i < w*h; i, p = i+1, p+3 {
-		quant[i] = uint8(QuantizeHSV(a.Pix[p], a.Pix[p+1], a.Pix[p+2]))
-	}
+	quant := quantizePlane(a)
 	var raw [CorrelogramBins][CorrelogramMaxDistance]float64
 	for y := 0; y < h; y++ {
 		for x := 0; x < w; x++ {
@@ -62,9 +75,24 @@ func ExtractCorrelogram(im *imaging.Image) *Correlogram {
 			}
 		}
 	}
+	return normalizeCorrelogram(&raw)
+}
+
+// quantizePlane maps every pixel of the analysis raster into its HSV cell.
+func quantizePlane(a *imaging.Image) []uint8 {
+	quant := make([]uint8, a.W*a.H)
+	for i, p := 0, 0; i < len(quant); i, p = i+1, p+3 {
+		quant[i] = uint8(QuantizeHSV(a.Pix[p], a.Pix[p+1], a.Pix[p+2]))
+	}
+	return quant
+}
+
+// normalizeCorrelogram applies the paper's normalisation: divide by the
+// per-distance maximum across colours. Raw counts are integers well below
+// 2^53, so float conversion is exact and the result does not depend on the
+// order the counts were accumulated in.
+func normalizeCorrelogram(raw *[CorrelogramBins][CorrelogramMaxDistance]float64) *Correlogram {
 	out := &Correlogram{}
-	// Paper normalisation: divide by the per-distance maximum across
-	// colours.
 	for d := 0; d < CorrelogramMaxDistance; d++ {
 		var max float64
 		for c := 0; c < CorrelogramBins; c++ {
@@ -82,8 +110,197 @@ func ExtractCorrelogram(im *imaging.Image) *Correlogram {
 	return out
 }
 
+// corrScratch holds the reusable per-colour prefix-sum planes. Pooled
+// because correlogram extraction runs on every ingest worker and the
+// planes are ~¾ MB per call.
+type corrScratch struct {
+	pos   []int32 // pixel indices bucketed by colour
+	rowPS []int32 // h×(w+1): per-row prefix counts of the current colour
+	colPS []int32 // w×(h+1): per-column prefix counts of the current colour
+}
+
+var corrScratchPool = sync.Pool{New: func() any { return &corrScratch{} }}
+
+func (s *corrScratch) grow(w, h int) {
+	if n := w * h; cap(s.pos) < n {
+		s.pos = make([]int32, n)
+	}
+	if n := h * (w + 1); cap(s.rowPS) < n {
+		s.rowPS = make([]int32, n)
+	}
+	if n := w * (h + 1); cap(s.colPS) < n {
+		s.colPS = make([]int32, n)
+	}
+}
+
+// correlogramFromQuant computes the auto correlogram from a quantised
+// plane with per-colour prefix sums: for each colour, one pass builds row
+// and column prefix counts over the colour's bounding box, after which the
+// count of same-colour pixels on any clipped Chebyshev ring is four O(1)
+// range lookups (top row, bottom row, left column, right column) instead
+// of a per-pixel ring walk. Counts are accumulated as integers and
+// normalised exactly like the reference, so the output is bit-identical
+// to ExtractCorrelogramReference.
+func correlogramFromQuant(quant []uint8, w, h int) *Correlogram {
+	var counts [CorrelogramBins]int32
+	var minX, maxX, minY, maxY [CorrelogramBins]int32
+	for c := range minX {
+		minX[c], minY[c] = int32(w), int32(h)
+		maxX[c], maxY[c] = -1, -1
+	}
+	for y := 0; y < h; y++ {
+		row := quant[y*w : (y+1)*w]
+		for x, c := range row {
+			counts[c]++
+			if int32(x) < minX[c] {
+				minX[c] = int32(x)
+			}
+			if int32(x) > maxX[c] {
+				maxX[c] = int32(x)
+			}
+			if int32(y) < minY[c] {
+				minY[c] = int32(y)
+			}
+			maxY[c] = int32(y)
+		}
+	}
+	// Bucket pixel positions by colour (counting sort).
+	var starts [CorrelogramBins + 1]int32
+	for c := 0; c < CorrelogramBins; c++ {
+		starts[c+1] = starts[c] + counts[c]
+	}
+	sc := corrScratchPool.Get().(*corrScratch)
+	defer corrScratchPool.Put(sc)
+	sc.grow(w, h)
+	pos := sc.pos[:w*h]
+	cursor := starts
+	for i, c := range quant {
+		pos[cursor[c]] = int32(i)
+		cursor[c]++
+	}
+
+	w1, h1 := w+1, h+1
+	rowPS, colPS := sc.rowPS, sc.colPS
+	var raw [CorrelogramBins][CorrelogramMaxDistance]int64
+	for c := 0; c < CorrelogramBins; c++ {
+		n := int(counts[c])
+		if n == 0 {
+			continue
+		}
+		bucket := pos[starts[c]:starts[c+1]]
+		x0, x1 := int(minX[c]), int(maxX[c])
+		y0, y1 := int(minY[c]), int(maxY[c])
+		// Sparse colours: summing ring counts over all pixels of c equals
+		// counting ordered same-colour pairs by Chebyshev distance, so a
+		// pairwise sweep over the (few) occurrences beats building prefix
+		// planes over the bounding box.
+		if int64(n)*int64(n) <= 2*int64(x1-x0+1)*int64(y1-y0+1) {
+			for i, pi := range bucket {
+				xi, yi := int(pi)%w, int(pi)/w
+				for _, pj := range bucket[i+1:] {
+					dx := xi - int(pj)%w
+					if dx < 0 {
+						dx = -dx
+					}
+					dy := yi - int(pj)/w
+					if dy < 0 {
+						dy = -dy
+					}
+					if dx < dy {
+						dx = dy
+					}
+					if dx >= 1 && dx <= CorrelogramMaxDistance {
+						raw[c][dx-1] += 2 // ordered pairs: (i,j) and (j,i)
+					}
+				}
+			}
+			continue
+		}
+		cu := uint8(c)
+		// Prefix counts of colour c over its bounding box: rings centred
+		// on colour-c pixels only ever count colour-c pixels, and outside
+		// [x0,x1]×[y0,y1] there are none — so queries clamp to the box
+		// and the planes never need building beyond it.
+		for y := y0; y <= y1; y++ {
+			base := y * w
+			ps := rowPS[y*w1:]
+			var run int32
+			for x := x0; x <= x1; x++ {
+				ps[x] = run
+				if quant[base+x] == cu {
+					run++
+				}
+			}
+			ps[x1+1] = run
+		}
+		for x := x0; x <= x1; x++ {
+			ps := colPS[x*h1:]
+			var run int32
+			qi := y0*w + x
+			for y := y0; y <= y1; y++ {
+				ps[y] = run
+				if quant[qi] == cu {
+					run++
+				}
+				qi += w
+			}
+			ps[y1+1] = run
+		}
+		for _, pi := range bucket {
+			x, y := int(pi)%w, int(pi)/w
+			for d := 1; d <= CorrelogramMaxDistance; d++ {
+				var n int32
+				// Top and bottom rows of the ring: columns [x-d, x+d]
+				// clamped to the box.
+				cl, ch := x-d, x+d
+				if cl < x0 {
+					cl = x0
+				}
+				if ch > x1 {
+					ch = x1
+				}
+				if ch >= cl {
+					if ry := y - d; ry >= y0 && ry <= y1 {
+						n += rowPS[ry*w1+ch+1] - rowPS[ry*w1+cl]
+					}
+					if ry := y + d; ry >= y0 && ry <= y1 {
+						n += rowPS[ry*w1+ch+1] - rowPS[ry*w1+cl]
+					}
+				}
+				// Left and right columns, excluding the corners the rows
+				// already counted: rows [y-d+1, y+d-1] clamped to the box.
+				rl, rh := y-d+1, y+d-1
+				if rl < y0 {
+					rl = y0
+				}
+				if rh > y1 {
+					rh = y1
+				}
+				if rh >= rl {
+					if rx := x - d; rx >= x0 && rx <= x1 {
+						n += colPS[rx*h1+rh+1] - colPS[rx*h1+rl]
+					}
+					if rx := x + d; rx >= x0 && rx <= x1 {
+						n += colPS[rx*h1+rh+1] - colPS[rx*h1+rl]
+					}
+				}
+				raw[c][d-1] += int64(n)
+			}
+		}
+	}
+	var rawF [CorrelogramBins][CorrelogramMaxDistance]float64
+	for c := 0; c < CorrelogramBins; c++ {
+		for d := 0; d < CorrelogramMaxDistance; d++ {
+			rawF[c][d] = float64(raw[c][d])
+		}
+	}
+	return normalizeCorrelogram(&rawF)
+}
+
 // countRing counts pixels with quantised colour c on the Chebyshev ring of
-// radius d around (x, y), clipped to the image.
+// radius d around (x, y), clipped to the image. It is the reference ring
+// counter; the production path answers the same question with prefix-sum
+// range lookups in correlogramFromQuant.
 func countRing(quant []uint8, w, h, x, y, d int, c uint8) int {
 	n := 0
 	x0, x1 := x-d, x+d

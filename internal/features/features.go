@@ -101,8 +101,13 @@ func Extract(kind Kind, im *imaging.Image) (Descriptor, error) {
 	case KindRegions:
 		return ExtractRegions(im), nil
 	default:
-		return nil, fmt.Errorf("features: unknown kind %d", int(kind))
+		return nil, errUnknownKind(kind)
 	}
+}
+
+// errUnknownKind builds the standard error for an out-of-range kind.
+func errUnknownKind(kind Kind) error {
+	return fmt.Errorf("features: unknown kind %d", int(kind))
 }
 
 // Parse reconstructs a descriptor of the given kind from its String form.
@@ -139,16 +144,29 @@ type Set struct {
 	Regions     *RegionStats
 }
 
-// ExtractAll computes all seven descriptors for a frame.
+// ExtractAll computes all seven descriptors for a frame. It runs the
+// shared analysis-plane pass (see Planes): one rescale, one gray
+// conversion, one HSV quantisation for the whole set, with outputs
+// bit-identical to ExtractAllReference.
 func ExtractAll(im *imaging.Image) *Set {
+	return ExtractAllShared(im)
+}
+
+// ExtractAllReference computes all seven descriptors the naive way the
+// paper's pseudo-code implies: each extractor rescales and converts the
+// frame independently, and the correlogram and Gabor extractors use the
+// original per-pixel algorithms. It is retained as the equivalence and
+// benchmark baseline for the shared-plane path (mirroring the search
+// pipeline's SearchWithSetReference).
+func ExtractAllReference(im *imaging.Image) *Set {
 	return &Set{
 		Histogram:   ExtractColorHistogram(im),
 		GLCM:        ExtractGLCM(im),
-		Gabor:       ExtractGabor(im),
+		Gabor:       ExtractGaborReference(im),
 		Tamura:      ExtractTamura(im),
-		Correlogram: ExtractCorrelogram(im),
+		Correlogram: ExtractCorrelogramReference(im),
 		Naive:       ExtractNaive(im),
-		Regions:     ExtractRegions(im),
+		Regions:     ExtractRegionsReference(im),
 	}
 }
 

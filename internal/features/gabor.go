@@ -101,13 +101,93 @@ func buildGaborBank() {
 	}
 }
 
+// gaborPlanePool recycles the two gaborImageSize² float planes (the
+// normalised pixel plane and the per-filter magnitude plane) across
+// extractions, so the ingest worker pool does not allocate them per frame.
+var gaborPlanePool = sync.Pool{
+	New: func() any {
+		s := make([]float64, gaborImageSize*gaborImageSize)
+		return &s
+	},
+}
+
 // gaborStats returns the per-filter magnitude means and deviations
 // normalised by image size, as in the paper's pseudo-code (which divides
 // both the sum of magnitudes and sqrt(sum of squared deviations) by
-// imageSize).
-func gaborStats(im *imaging.Image) (means, devs [GaborScales][GaborOrientations]float64) {
+// imageSize). The convolution walks each kernel row over a pre-sliced
+// pixel row so the inner loop carries no bounds checks; the
+// floating-point accumulation order is exactly the reference's, so the
+// statistics are bit-identical to gaborStatsReference.
+func gaborStats(g *imaging.Gray) (means, devs [GaborScales][GaborOrientations]float64) {
 	gaborBankOnce.Do(buildGaborBank)
-	g := analysisImage(im).ToGray().Rescale(gaborImageSize, gaborImageSize)
+	w, h := g.W, g.H
+	pixP := gaborPlanePool.Get().(*[]float64)
+	magsP := gaborPlanePool.Get().(*[]float64)
+	defer gaborPlanePool.Put(pixP)
+	defer gaborPlanePool.Put(magsP)
+	pix, mags := (*pixP)[:w*h], (*magsP)[:w*h]
+	for i, v := range g.Pix {
+		pix[i] = float64(v) / 255
+	}
+	imageSize := float64(w * h)
+	for m := 0; m < GaborScales; m++ {
+		for n := 0; n < GaborOrientations; n++ {
+			k := &gaborBank[m][n]
+			r := k.radius
+			side := 2*r + 1
+			var kreRows, kimRows [2*gaborMaxRadius + 1][]float64
+			for ky := 0; ky < side; ky++ {
+				kreRows[ky] = k.re[ky*side : (ky+1)*side : (ky+1)*side]
+				kimRows[ky] = k.im[ky*side : (ky+1)*side : (ky+1)*side]
+			}
+			var sum float64
+			count := 0
+			for y := r; y < h-r; y++ {
+				for x := r; x < w-r; x++ {
+					var re, imag float64
+					for dy := -r; dy <= r; dy++ {
+						base := (y+dy)*w + x - r
+						row := pix[base : base+side : base+side]
+						// Reslicing the kernel rows to len(row) lets the
+						// compiler drop the bounds checks on the taps.
+						kre := kreRows[dy+r][:len(row)]
+						kim := kimRows[dy+r][:len(row)]
+						for dx, p := range row {
+							re += p * kre[dx]
+							imag += p * kim[dx]
+						}
+					}
+					mag := math.Sqrt(re*re + imag*imag)
+					mags[count] = mag
+					sum += mag
+					count++
+				}
+			}
+			mean := sum / imageSize
+			var sq float64
+			for _, v := range mags[:count] {
+				d := v - mean
+				sq += d * d
+			}
+			means[m][n] = mean
+			devs[m][n] = math.Sqrt(sq) / imageSize
+		}
+	}
+	return means, devs
+}
+
+// gaborGray derives the 64×64 grayscale filtering raster from a frame.
+func gaborGray(im *imaging.Image) *imaging.Gray {
+	return analysisImage(im).ToGray().Rescale(gaborImageSize, gaborImageSize)
+}
+
+// gaborStatsReference is the retained naive statistics pass: fresh float
+// planes per call and a bounds-checked scalar inner loop, exactly the
+// pre-optimisation code. It backs ExtractGaborReference, the bit-identity
+// baseline and "before" benchmark for gaborStats.
+func gaborStatsReference(im *imaging.Image) (means, devs [GaborScales][GaborOrientations]float64) {
+	gaborBankOnce.Do(buildGaborBank)
+	g := gaborGray(im)
 	w, h := g.W, g.H
 	pix := make([]float64, w*h)
 	for i, v := range g.Pix {
@@ -157,11 +237,32 @@ func gaborStats(im *imaging.Image) (means, devs [GaborScales][GaborOrientations]
 // ExtractGabor computes the §4.4 descriptor with the paper's faithful
 // (buggy) vector layout.
 func ExtractGabor(im *imaging.Image) *Gabor {
-	means, devs := gaborStats(im)
+	means, devs := gaborStats(gaborGray(im))
+	return gaborFaithfulLayout(&means, &devs)
+}
+
+// ExtractGaborWith computes the descriptor from shared analysis planes,
+// reusing the gray plane (only the 300→64 gabor rescale remains
+// per-extractor).
+func ExtractGaborWith(p *Planes) *Gabor {
+	means, devs := gaborStats(p.Gray.Rescale(gaborImageSize, gaborImageSize))
+	return gaborFaithfulLayout(&means, &devs)
+}
+
+// ExtractGaborReference computes the descriptor through the retained
+// naive statistics pass (per-call allocations, bounds-checked inner
+// loop) — the bit-identity baseline for ExtractGabor / ExtractGaborWith.
+func ExtractGaborReference(im *imaging.Image) *Gabor {
+	means, devs := gaborStatsReference(im)
+	return gaborFaithfulLayout(&means, &devs)
+}
+
+// gaborFaithfulLayout packs filter statistics with the paper's faithful
+// indexing bug: m*N + n*2 (not (m*N+n)*2), leaving the tail zero.
+func gaborFaithfulLayout(means, devs *[GaborScales][GaborOrientations]float64) *Gabor {
 	out := &Gabor{}
 	for m := 0; m < GaborScales; m++ {
 		for n := 0; n < GaborOrientations; n++ {
-			// Faithful indexing bug: m*N + n*2 (not (m*N+n)*2).
 			out.Vec[m*GaborOrientations+n*2] = means[m][n]
 			out.Vec[m*GaborOrientations+n*2+1] = devs[m][n]
 		}
@@ -173,7 +274,7 @@ func ExtractGabor(im *imaging.Image) *Gabor {
 // (m*N+n)*2 layout, used by the ablation bench to quantify what the
 // indexing bug costs.
 func ExtractGaborCorrected(im *imaging.Image) *Gabor {
-	means, devs := gaborStats(im)
+	means, devs := gaborStats(gaborGray(im))
 	out := &Gabor{}
 	for m := 0; m < GaborScales; m++ {
 		for n := 0; n < GaborOrientations; n++ {

@@ -38,6 +38,12 @@ func ExtractGLCM(im *imaging.Image) *GLCM {
 	return glcmFromGray(g)
 }
 
+// ExtractGLCMWith computes the descriptor from shared analysis planes,
+// reusing the gray plane instead of rescaling and converting again.
+func ExtractGLCMWith(p *Planes) *GLCM {
+	return glcmFromGray(p.Gray)
+}
+
 func glcmFromGray(g *imaging.Gray) *GLCM {
 	w, h := g.W, g.H
 	// glcm[a][b] accumulates symmetric co-occurrence counts, then is

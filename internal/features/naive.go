@@ -29,7 +29,18 @@ type NaiveSignature struct {
 
 // ExtractNaive computes the §4.6 signature of a frame.
 func ExtractNaive(im *imaging.Image) *NaiveSignature {
-	scaled := im.Rescale(naiveBaseSize, naiveBaseSize)
+	return naiveFromScaled(im.Rescale(naiveBaseSize, naiveBaseSize))
+}
+
+// ExtractNaiveWith computes the signature from shared analysis planes.
+// The analysis raster and the paper's naive rescale target are both
+// 300×300 nearest-neighbour, so sampling the shared plane is
+// bit-identical to the reference's dedicated rescale.
+func ExtractNaiveWith(p *Planes) *NaiveSignature {
+	return naiveFromScaled(p.Analysis)
+}
+
+func naiveFromScaled(scaled *imaging.Image) *NaiveSignature {
 	out := &NaiveSignature{}
 	i := 0
 	for gy := 0; gy < naiveGrid; gy++ {

@@ -1,0 +1,88 @@
+package features
+
+import "cbvr/internal/imaging"
+
+// Planes holds the per-frame analysis rasters every extractor consumes,
+// computed exactly once. Before this existed, each of the seven extractors
+// independently rescaled the frame to the 300×300 analysis raster, five of
+// them independently converted it to gray, and the range index paid for
+// yet another rescale — eight rescales and six gray conversions per key
+// frame. NewPlanes performs one rescale, one gray conversion, one HSV
+// quantisation pass and one histogram pass; ExtractAllShared and the
+// per-kind ExtractWith / Extract*With entry points then reuse the shared
+// planes. The descriptors produced through the shared planes are
+// bit-identical to the retained naive reference (ExtractAllReference) —
+// see shared_test.go.
+type Planes struct {
+	// Analysis is the 300×300 analysis raster (the frame itself when it
+	// already has analysis dimensions, mirroring analysisImage).
+	Analysis *imaging.Image
+	// Gray is the BT.601 luma plane of Analysis. Consumed by GLCM,
+	// Tamura, Gabor (via a further 64×64 rescale) and region growing.
+	Gray *imaging.Gray
+	// Quant is the 64-cell HSV-quantised plane of Analysis (row-major,
+	// len AnalysisSize²). Consumed by the auto colour correlogram.
+	Quant []uint8
+	// GrayHist is the 256-bin histogram of Gray — the §4.2 range-finder
+	// input, equal to Analysis.GrayHistogram().
+	GrayHist [256]int
+}
+
+// NewPlanes computes the shared analysis planes for a frame.
+func NewPlanes(im *imaging.Image) *Planes {
+	a := analysisImage(im)
+	g := a.ToGray()
+	p := &Planes{
+		Analysis: a,
+		Gray:     g,
+		Quant:    make([]uint8, a.W*a.H),
+		GrayHist: g.Histogram(),
+	}
+	for i, pi := 0, 0; i < len(p.Quant); i, pi = i+1, pi+3 {
+		p.Quant[i] = uint8(QuantizeHSV(a.Pix[pi], a.Pix[pi+1], a.Pix[pi+2]))
+	}
+	return p
+}
+
+// ExtractAllShared computes all seven descriptors for a frame through one
+// shared analysis-plane pass. It is the fast equivalent of
+// ExtractAllReference and the implementation behind ExtractAll.
+func ExtractAllShared(im *imaging.Image) *Set {
+	return NewPlanes(im).ExtractAll()
+}
+
+// ExtractAll computes all seven descriptors from already-computed planes.
+func (p *Planes) ExtractAll() *Set {
+	return &Set{
+		Histogram:   ExtractColorHistogramWith(p),
+		GLCM:        ExtractGLCMWith(p),
+		Gabor:       ExtractGaborWith(p),
+		Tamura:      ExtractTamuraWith(p),
+		Correlogram: ExtractCorrelogramWith(p),
+		Naive:       ExtractNaiveWith(p),
+		Regions:     ExtractRegionsWith(p),
+	}
+}
+
+// ExtractWith computes the descriptor of the given kind from shared
+// planes, the planes-based counterpart of Extract.
+func ExtractWith(kind Kind, p *Planes) (Descriptor, error) {
+	switch kind {
+	case KindHistogram:
+		return ExtractColorHistogramWith(p), nil
+	case KindGLCM:
+		return ExtractGLCMWith(p), nil
+	case KindGabor:
+		return ExtractGaborWith(p), nil
+	case KindTamura:
+		return ExtractTamuraWith(p), nil
+	case KindCorrelogram:
+		return ExtractCorrelogramWith(p), nil
+	case KindNaive:
+		return ExtractNaiveWith(p), nil
+	case KindRegions:
+		return ExtractRegionsWith(p), nil
+	default:
+		return nil, errUnknownKind(kind)
+	}
+}

@@ -29,13 +29,32 @@ func ExtractRegions(im *imaging.Image) *RegionStats {
 	return growRegions(g)
 }
 
+// ExtractRegionsWith runs the pipeline from shared analysis planes,
+// reusing the gray plane. BinarizeAuto allocates its output, so the shared
+// plane itself is never written.
+func ExtractRegionsWith(p *Planes) *RegionStats {
+	return growRegions(p.Gray.BinarizeAuto().CloseOpenBox3())
+}
+
+// ExtractRegionsReference is the retained naive pipeline: its own rescale
+// and gray conversion plus the generic kernel-walk morphology (CloseOpen
+// over PaperKernel offsets with per-tap bounds checks). min/max folds are
+// order-independent, so the separable box morphology the production paths
+// use is provably identical; this baseline keeps the pre-optimisation
+// cost measurable.
+func ExtractRegionsReference(im *imaging.Image) *RegionStats {
+	g := analysisImage(im).ToGray()
+	return growRegions(g.BinarizeAuto().CloseOpen(imaging.PaperKernel()))
+}
+
 // preprocessRegions mirrors the paper's preprocess(): grayscale via the
 // 0.114/0.587/0.299 band combine, Huang minimum-fuzziness binarisation,
-// then dilate, erode, erode, dilate with the 5×5 (active 3×3) kernel.
+// then dilate, erode, erode, dilate with the 5×5 (active 3×3) kernel —
+// run as separable box passes, which produce the identical raster.
 func preprocessRegions(im *imaging.Image) *imaging.Gray {
 	g := analysisImage(im).ToGray()
 	b := g.BinarizeAuto()
-	return b.CloseOpen(imaging.PaperKernel())
+	return b.CloseOpenBox3()
 }
 
 // growRegions is the classic stack-based region growing from §4.8:

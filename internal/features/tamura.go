@@ -37,7 +37,16 @@ type Tamura struct {
 // ExtractTamura computes the Tamura texture features of a frame over the
 // 300×300 analysis raster.
 func ExtractTamura(im *imaging.Image) *Tamura {
-	g := analysisImage(im).ToGray()
+	return tamuraFromGray(analysisImage(im).ToGray())
+}
+
+// ExtractTamuraWith computes the descriptor from shared analysis planes,
+// reusing the gray plane instead of rescaling and converting again.
+func ExtractTamuraWith(p *Planes) *Tamura {
+	return tamuraFromGray(p.Gray)
+}
+
+func tamuraFromGray(g *imaging.Gray) *Tamura {
 	t := &Tamura{}
 	t.Coarseness = tamuraCoarseness(g)
 	t.Contrast = tamuraContrast(g)

@@ -78,3 +78,85 @@ func (g *Gray) Erode(k Kernel) *Gray {
 func (g *Gray) CloseOpen(k Kernel) *Gray {
 	return g.Dilate(k).Erode(k).Erode(k).Dilate(k)
 }
+
+// CloseOpenBox3 is CloseOpen(PaperKernel()) through the separable box
+// filters below. Identical output, ~¼ the taps.
+func (g *Gray) CloseOpenBox3() *Gray {
+	return g.BoxDilate3().BoxErode3().BoxErode3().BoxDilate3()
+}
+
+// BoxDilate3 performs dilation with the 3×3 box kernel (PaperKernel) as
+// two separable passes: a horizontal 3-tap max, then a vertical 3-tap
+// max. max is associative and commutative, so the result is identical to
+// Dilate(PaperKernel()) — including at the borders, where out-of-image
+// taps are ignored — at roughly a quarter of the taps and with no
+// per-tap bounds checks.
+func (g *Gray) BoxDilate3() *Gray {
+	return g.boxFilter3(max8)
+}
+
+// BoxErode3 performs erosion with the 3×3 box kernel as two separable
+// 3-tap min passes; identical to Erode(PaperKernel()).
+func (g *Gray) BoxErode3() *Gray {
+	return g.boxFilter3(min8)
+}
+
+func max8(a, b uint8) uint8 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min8(a, b uint8) uint8 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// boxFilter3 applies a separable 3×3 fold (min or max) with ignored
+// out-of-image taps.
+func (g *Gray) boxFilter3(fold func(a, b uint8) uint8) *Gray {
+	w, h := g.W, g.H
+	out := NewGray(w, h)
+	if w == 0 || h == 0 {
+		return out
+	}
+	// Horizontal pass into a scratch plane.
+	tmp := make([]uint8, w*h)
+	for y := 0; y < h; y++ {
+		row := g.Pix[y*w : (y+1)*w]
+		dst := tmp[y*w : (y+1)*w]
+		if w == 1 {
+			dst[0] = row[0]
+			continue
+		}
+		dst[0] = fold(row[0], row[1])
+		for x := 1; x < w-1; x++ {
+			dst[x] = fold(fold(row[x-1], row[x]), row[x+1])
+		}
+		dst[w-1] = fold(row[w-2], row[w-1])
+	}
+	// Vertical pass over the horizontal result.
+	if h == 1 {
+		copy(out.Pix, tmp)
+		return out
+	}
+	for x := 0; x < w; x++ {
+		out.Pix[x] = fold(tmp[x], tmp[w+x])
+	}
+	for y := 1; y < h-1; y++ {
+		above := tmp[(y-1)*w : y*w]
+		cur := tmp[y*w : (y+1)*w]
+		below := tmp[(y+1)*w : (y+2)*w]
+		dst := out.Pix[y*w : (y+1)*w]
+		for x := 0; x < w; x++ {
+			dst[x] = fold(fold(above[x], cur[x]), below[x])
+		}
+	}
+	for x := 0; x < w; x++ {
+		out.Pix[(h-1)*w+x] = fold(tmp[(h-2)*w+x], tmp[(h-1)*w+x])
+	}
+	return out
+}

@@ -1,11 +1,24 @@
 package imaging
 
+import "sync/atomic"
+
+// rescaleCalls counts (*Image).Rescale invocations process-wide. It backs
+// RescaleCalls, the test hook that verifies the shared analysis-plane
+// pipeline rescales each ingested key frame exactly once.
+var rescaleCalls atomic.Int64
+
+// RescaleCalls reports how many times (*Image).Rescale has run in this
+// process. Tests subtract two readings to count the rescales a code path
+// performs; the counter has no other consumers.
+func RescaleCalls() int64 { return rescaleCalls.Load() }
+
 // Rescale resizes the image to w×h using nearest-neighbour interpolation,
 // the paper's InterpolationNearest. It panics if w or h is not positive.
 func (im *Image) Rescale(w, h int) *Image {
 	if w <= 0 || h <= 0 {
 		panic("imaging: Rescale requires positive dimensions")
 	}
+	rescaleCalls.Add(1)
 	out := New(w, h)
 	if im.W == 0 || im.H == 0 {
 		return out
