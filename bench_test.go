@@ -13,6 +13,7 @@
 package cbvr_test
 
 import (
+	"bytes"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -21,6 +22,7 @@ import (
 
 	"cbvr"
 	"cbvr/internal/core"
+	"cbvr/internal/cvj"
 	"cbvr/internal/eval"
 	"cbvr/internal/features"
 	"cbvr/internal/imaging"
@@ -234,6 +236,66 @@ func BenchmarkPipeline_IngestSharedPlanes(b *testing.B) {
 		}
 		if i == 0 {
 			b.ReportMetric(float64(len(res.KeyFrameIDs)), "keyframes")
+		}
+	}
+}
+
+// BenchmarkPipeline_IngestStreamed measures the streamed ingest path
+// (decode/select/extract overlap, pooled planes, JPEG-record reuse) on a
+// camera-resolution container. Run with -benchmem and compare against
+// BenchmarkPipeline_IngestBufferedReference: the streamed path holds only
+// key frames, reuses the selection-time signature and rasters, and never
+// re-encodes JPEGs, so both bytes/op and time/op drop.
+func BenchmarkPipeline_IngestStreamed(b *testing.B) {
+	dir := b.TempDir()
+	sys, err := cbvr.Open(filepath.Join(dir, "ingest-streamed.db"), cbvr.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sys.Close()
+	v := synthvid.Generate(synthvid.Sports, synthvid.Config{
+		Width: 320, Height: 240, Frames: 24, Shots: 4, Seed: 5,
+	})
+	container, err := cvj.EncodeBytes(v.Frames, v.FPS, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sys.IngestVideoStream(fmt.Sprintf("streamed_%d", i), bytes.NewReader(container))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(len(res.KeyFrameIDs)), "keyframes")
+		}
+	}
+}
+
+// BenchmarkPipeline_IngestBufferedReference is the allocation and speed
+// baseline: the retained in-memory reference ingest (decode everything,
+// batch selection, sequential unpooled extraction) over the identical
+// container.
+func BenchmarkPipeline_IngestBufferedReference(b *testing.B) {
+	dir := b.TempDir()
+	sys, err := cbvr.Open(filepath.Join(dir, "ingest-buffered.db"), cbvr.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sys.Close()
+	v := synthvid.Generate(synthvid.Sports, synthvid.Config{
+		Width: 320, Height: 240, Frames: 24, Shots: 4, Seed: 5,
+	})
+	container, err := cvj.EncodeBytes(v.Frames, v.FPS, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Engine().IngestVideoReference(fmt.Sprintf("buffered_%d", i), container); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

@@ -114,6 +114,17 @@ func (s *System) IngestVideo(name string, container []byte) (*IngestResult, erro
 	return s.eng.IngestVideo(name, container)
 }
 
+// IngestVideoStream ingests a CVJ container directly from a byte stream:
+// frames are decoded one at a time, key frames are selected as they
+// arrive, and feature extraction overlaps the decode of later frames.
+// Non-key frames are never retained, so ingest memory is proportional to
+// the number of key frames plus the compressed container bytes (stored as
+// the VIDEO blob) — never the number of decoded frames. Use this for
+// uploads and files instead of buffering whole decoded clips.
+func (s *System) IngestVideoStream(name string, r io.Reader) (*IngestResult, error) {
+	return s.eng.IngestVideoStream(name, r)
+}
+
 // IngestFrames encodes raw frames as a CVJ container and ingests it.
 func (s *System) IngestFrames(name string, frames []*Image, fps int) (*IngestResult, error) {
 	return s.eng.IngestFrames(name, frames, fps)

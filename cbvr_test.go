@@ -147,3 +147,31 @@ func TestPublicAPIFromJPEG(t *testing.T) {
 		t.Errorf("dims %dx%d", got.W, got.H)
 	}
 }
+
+// TestPublicAPIIngestVideoStream exercises the reader-based ingest entry
+// point end to end: encode a clip, stream it in, search it back, and check
+// it matches the buffered entry point's result shape.
+func TestPublicAPIIngestVideoStream(t *testing.T) {
+	sys := openSystem(t)
+	_, frames, fps := cbvr.GenerateVideo(cbvr.CategoryNews, cbvr.VideoConfig{
+		Width: 96, Height: 72, Frames: 10, Shots: 2, Seed: 7,
+	})
+	var buf bytes.Buffer
+	if err := cbvr.EncodeVideo(&buf, frames, fps, 0); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.IngestVideoStream("streamed", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumFrames != len(frames) || len(res.KeyFrameIDs) == 0 {
+		t.Fatalf("result: %+v", res)
+	}
+	matches, err := sys.Search(frames[0], cbvr.SearchOptions{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 1 || matches[0].VideoID != res.VideoID {
+		t.Errorf("self search after streamed ingest: %+v", matches)
+	}
+}

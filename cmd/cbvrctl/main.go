@@ -124,10 +124,11 @@ func cmdIngest(args []string) error {
 	if *file == "" {
 		return fmt.Errorf("missing -file flag")
 	}
-	raw, err := os.ReadFile(*file)
+	f, err := os.Open(*file)
 	if err != nil {
 		return err
 	}
+	defer f.Close()
 	if *name == "" {
 		*name = strings.TrimSuffix(*file, ".cvj")
 	}
@@ -136,7 +137,9 @@ func cmdIngest(args []string) error {
 		return err
 	}
 	defer sys.Close()
-	res, err := sys.IngestVideo(*name, raw)
+	// Stream the container from disk: constant-memory ingest regardless of
+	// clip length.
+	res, err := sys.IngestVideoStream(*name, f)
 	if err != nil {
 		return err
 	}

@@ -9,6 +9,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"io"
 	"runtime"
 	"sync"
 	"time"
@@ -37,7 +38,9 @@ type Options struct {
 	// lifetime; query-time parallelism (Workers, SearchOptions.Workers)
 	// is clamped to it, since each shard is scanned by one worker.
 	SearchShards int
-	// JPEGQuality for stored key-frame images; <= 0 uses the default.
+	// JPEGQuality for CVJ containers encoded by IngestFrames; <= 0 uses
+	// the default. Stored key-frame images and the key-frame stream reuse
+	// the container's original JPEG bytes, so no quality applies there.
 	JPEGQuality int
 	// Store tunes the underlying vstore database.
 	Store vstore.Options
@@ -217,80 +220,163 @@ func (e *Engine) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// IngestFrames encodes frames as a CVJ container and ingests it.
+// IngestFrames encodes frames as a CVJ container and ingests it. A frame
+// that fails JPEG encoding aborts here, deterministically naming the first
+// failing frame, before any database transaction begins.
 func (e *Engine) IngestFrames(name string, frames []*imaging.Image, fps int) (*IngestResult, error) {
 	if len(frames) == 0 {
 		return nil, errors.New("core: no frames to ingest")
 	}
 	container, err := cvj.EncodeBytes(frames, fps, e.opts.JPEGQuality)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("core: ingest %q: %w", name, err)
 	}
 	return e.IngestVideo(name, container)
 }
 
-// IngestVideo runs the full ingest pipeline on a CVJ container: decode
-// frames, select key frames (§4.1), extract all features (§4.3–4.8) in
-// parallel, assign range buckets (§4.2) and store everything in one
-// transaction.
+// IngestVideo runs the full ingest pipeline on an in-memory CVJ container.
+// It is a thin wrapper over the streaming path (see IngestVideoStream)
+// that stores the container bytes verbatim.
 func (e *Engine) IngestVideo(name string, container []byte) (*IngestResult, error) {
-	vid, err := cvj.DecodeBytes(container)
+	return e.ingestStream(name, bytes.NewReader(container), container)
+}
+
+// IngestVideoStream runs the full ingest pipeline directly from a
+// container byte stream: frames are decoded one at a time, §4.1 key-frame
+// selection runs as they arrive, and each selected key frame is handed to
+// a bounded worker pool that extracts features (§4.3–4.8) and the §4.2
+// range bucket while later frames are still being decoded. Non-key frames
+// are never retained, so ingest memory is proportional to the number of
+// key frames (plus the compressed container bytes), not the number of
+// frames. Stored key-frame images and the key-frame stream reuse the
+// container's original JPEG records; the §4.1 selection signature is
+// installed into each key frame's descriptor set instead of being
+// recomputed. See DESIGN.md ("Streamed ingest").
+func (e *Engine) IngestVideoStream(name string, r io.Reader) (*IngestResult, error) {
+	return e.ingestStream(name, r, nil)
+}
+
+// kfWork carries one selected key frame through the extraction pool.
+type kfWork struct {
+	frameIndex int
+	jpeg       []byte                   // original container record, stored verbatim
+	scaled     *imaging.Image           // analysis raster; dropped after extraction
+	sig        *features.NaiveSignature // §4.1 selection-time signature, reused
+	set        *features.Set            // written by exactly one pool worker
+	bucket     rangeindex.Range
+}
+
+// streamFrameSource adapts a cvj.Reader to key-frame selection. Each frame
+// is rescaled to the 300×300 analysis raster exactly once and handed to
+// selection pre-scaled (ExtractNaive samples analysis-sized rasters
+// directly, with no further rescale); the frame's original JPEG record is
+// retained until the next read so ExtractStream's emit callback — which
+// runs before the next read — can claim it for storage. Full-resolution
+// decodes are dropped immediately and non-key-frame rasters die with the
+// next iteration.
+type streamFrameSource struct {
+	cr   *cvj.Reader
+	cw   *cvj.Writer // re-assembles container bytes; nil when caller has them
+	jpeg []byte      // latest frame's original record bytes
+}
+
+func (s *streamFrameSource) Next() (*imaging.Image, error) {
+	f, err := s.cr.NextFrame()
 	if err != nil {
+		return nil, err // io.EOF passes through to end selection
+	}
+	if s.cw != nil {
+		if err := s.cw.WriteJPEG(f.JPEG); err != nil {
+			return nil, err
+		}
+	}
+	s.jpeg = f.JPEG
+	return features.AnalysisRaster(f.Image), nil
+}
+
+// ingestStream is the shared ingest pipeline behind IngestVideo and
+// IngestVideoStream. container is the verbatim bytes when the caller
+// already holds them, else nil and the container is re-assembled
+// record-for-record from the stream (bit-identical for well-formed
+// containers). All failure paths run on the decode loop, so errors are
+// deterministic — the first failing frame in stream order wins, and
+// nothing touches the database until every key frame has extracted
+// cleanly.
+func (e *Engine) ingestStream(name string, r io.Reader, container []byte) (*IngestResult, error) {
+	fail := func(err error) (*IngestResult, error) {
 		return nil, fmt.Errorf("core: ingest %q: %w", name, err)
 	}
-	kex := keyframe.Extractor{Threshold: e.opts.KeyframeThreshold}
-	kfs, err := kex.Extract(vid.Frames)
+	cr, err := cvj.NewReader(r)
 	if err != nil {
-		return nil, fmt.Errorf("core: ingest %q: %w", name, err)
+		return fail(err)
+	}
+	var cbuf bytes.Buffer
+	var cw *cvj.Writer
+	if container == nil {
+		if cw, err = cvj.NewWriter(&cbuf, cr.FPS()); err != nil {
+			return fail(err)
+		}
 	}
 
-	type extracted struct {
-		set    *features.Set
-		bucket rangeindex.Range
-		jpeg   []byte
-	}
-	exts := make([]extracted, len(kfs))
+	// Bounded worker pool: feature extraction of already-selected key
+	// frames overlaps the decode of later frames. Workers share pooled
+	// analysis-plane buffers and have no failure paths; the channel bound
+	// keeps the decode loop from racing ahead of extraction.
+	workers := e.workers()
+	jobs := make(chan *kfWork, workers)
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, e.workers())
-	errCh := make(chan error, len(kfs))
-	for i := range kfs {
+	for i := 0; i < workers; i++ {
 		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int) {
+		go func() {
 			defer wg.Done()
-			defer func() { <-sem }()
-			im := kfs[i].Image
-			// One shared analysis-plane pass per key frame: the seven
-			// descriptors and the §4.2 range bucket all come from the same
-			// planes, so the frame is rescaled exactly once end-to-end.
-			planes := features.NewPlanes(im)
-			set := planes.ExtractAll()
-			bucket := BucketFromPlanes(planes)
-			var buf bytes.Buffer
-			if err := im.EncodeJPEG(&buf, e.opts.JPEGQuality); err != nil {
-				errCh <- err
-				return
+			for w := range jobs {
+				p := features.AcquirePlanes(w.scaled)
+				w.set = p.ExtractAllWithNaive(w.sig)
+				w.bucket = BucketFromPlanes(p)
+				p.Release()
+				w.scaled = nil // retain only descriptors + original JPEG
 			}
-			exts[i] = extracted{set: set, bucket: bucket, jpeg: buf.Bytes()}
-		}(i)
+		}()
 	}
+
+	var works []*kfWork
+	src := &streamFrameSource{cr: cr, cw: cw}
+	kex := keyframe.Extractor{Threshold: e.opts.KeyframeThreshold}
+	selErr := kex.ExtractStream(src, func(k *keyframe.KeyFrame) error {
+		w := &kfWork{frameIndex: k.Index, jpeg: src.jpeg, scaled: k.Image, sig: k.Signature}
+		works = append(works, w)
+		jobs <- w
+		return nil
+	})
+	close(jobs)
 	wg.Wait()
-	select {
-	case err := <-errCh:
-		return nil, fmt.Errorf("core: ingest %q: %w", name, err)
-	default:
+	if selErr != nil {
+		return fail(selErr)
+	}
+	if container == nil {
+		if err := cw.Close(); err != nil {
+			return fail(err)
+		}
+		container = cbuf.Bytes()
 	}
 
-	// Key-frame-only stream (the VIDEO_STORE.STREAM column).
-	kfImages := make([]*imaging.Image, len(kfs))
-	for i, k := range kfs {
-		kfImages[i] = k.Image
+	// Key-frame-only stream (the VIDEO_STORE.STREAM column), assembled
+	// from the container's original JPEG records — no decode→re-encode
+	// generation loss.
+	kfJpegs := make([][]byte, len(works))
+	for i, w := range works {
+		kfJpegs[i] = w.jpeg
 	}
-	stream, err := cvj.EncodeBytes(kfImages, vid.FPS, e.opts.JPEGQuality)
+	stream, err := cvj.EncodeRawBytes(kfJpegs, cr.FPS())
 	if err != nil {
-		return nil, fmt.Errorf("core: ingest %q: %w", name, err)
+		return fail(err)
 	}
+	return e.storeIngest(name, container, stream, cr.FramesRead(), works)
+}
 
+// storeIngest commits one ingested video — VIDEO_STORE row, KEY_FRAMES
+// rows, search-cache entries — in a single transaction.
+func (e *Engine) storeIngest(name string, container, stream []byte, numFrames int, works []*kfWork) (*IngestResult, error) {
 	tx, err := e.store.Begin()
 	if err != nil {
 		return nil, err
@@ -301,24 +387,24 @@ func (e *Engine) IngestVideo(name string, container []byte) (*IngestResult, erro
 		tx.Abort()
 		return nil, err
 	}
-	res := &IngestResult{VideoID: videoID, NumFrames: len(vid.Frames)}
-	newEntries := make([]*frameEntry, 0, len(kfs))
-	for i, k := range kfs {
+	res := &IngestResult{VideoID: videoID, NumFrames: numFrames}
+	newEntries := make([]*frameEntry, 0, len(works))
+	for _, w := range works {
 		row := &catalog.KeyFrame{
-			Name:         fmt.Sprintf("%s#%04d", name, k.Index),
-			Image:        exts[i].jpeg,
-			Min:          exts[i].bucket.Min,
-			Max:          exts[i].bucket.Max,
-			SCH:          exts[i].set.Histogram.String(),
-			GLCM:         exts[i].set.GLCM.String(),
-			Gabor:        exts[i].set.Gabor.String(),
-			Tamura:       exts[i].set.Tamura.String(),
-			ACC:          exts[i].set.Correlogram.String(),
-			Naive:        exts[i].set.Naive.String(),
-			Regions:      exts[i].set.Regions.String(),
-			MajorRegions: exts[i].set.Regions.Major,
+			Name:         fmt.Sprintf("%s#%04d", name, w.frameIndex),
+			Image:        w.jpeg,
+			Min:          w.bucket.Min,
+			Max:          w.bucket.Max,
+			SCH:          w.set.Histogram.String(),
+			GLCM:         w.set.GLCM.String(),
+			Gabor:        w.set.Gabor.String(),
+			Tamura:       w.set.Tamura.String(),
+			ACC:          w.set.Correlogram.String(),
+			Naive:        w.set.Naive.String(),
+			Regions:      w.set.Regions.String(),
+			MajorRegions: w.set.Regions.Major,
 			VideoID:      videoID,
-			FrameIndex:   k.Index,
+			FrameIndex:   w.frameIndex,
 		}
 		id, err := e.store.InsertKeyFrame(tx, row)
 		if err != nil {
@@ -329,9 +415,9 @@ func (e *Engine) IngestVideo(name string, container []byte) (*IngestResult, erro
 		newEntries = append(newEntries, &frameEntry{
 			id:       id,
 			videoID:  videoID,
-			frameIdx: k.Index,
-			bucket:   exts[i].bucket,
-			set:      exts[i].set,
+			frameIdx: w.frameIndex,
+			bucket:   w.bucket,
+			set:      w.set,
 		})
 	}
 	if err := tx.Commit(); err != nil {
@@ -345,6 +431,58 @@ func (e *Engine) IngestVideo(name string, container []byte) (*IngestResult, erro
 	e.vname[videoID] = name
 	e.mu.Unlock()
 	return res, nil
+}
+
+// IngestVideoReference is the retained in-memory reference ingest: decode
+// every frame up front, select key frames in batch, then extract features
+// sequentially from the full-resolution frames with fresh (unpooled)
+// analysis planes. It produces bit-identical stored rows to the streamed
+// pipeline and exists as its equivalence and benchmark baseline, mirroring
+// SearchWithSetReference and features.ExtractAllReference.
+func (e *Engine) IngestVideoReference(name string, container []byte) (*IngestResult, error) {
+	fail := func(err error) (*IngestResult, error) {
+		return nil, fmt.Errorf("core: ingest %q: %w", name, err)
+	}
+	cr, err := cvj.NewReader(bytes.NewReader(container))
+	if err != nil {
+		return fail(err)
+	}
+	var frames []*imaging.Image
+	var jpegs [][]byte
+	for {
+		f, err := cr.NextFrame()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return fail(err)
+		}
+		frames = append(frames, f.Image)
+		jpegs = append(jpegs, f.JPEG)
+	}
+	kex := keyframe.Extractor{Threshold: e.opts.KeyframeThreshold}
+	kfs, err := kex.Extract(frames)
+	if err != nil {
+		return fail(err)
+	}
+	works := make([]*kfWork, len(kfs))
+	kfJpegs := make([][]byte, len(kfs))
+	for i, k := range kfs {
+		planes := features.NewPlanes(k.Image)
+		works[i] = &kfWork{
+			frameIndex: k.Index,
+			jpeg:       jpegs[k.Index],
+			sig:        k.Signature,
+			set:        planes.ExtractAll(),
+			bucket:     BucketFromPlanes(planes),
+		}
+		kfJpegs[i] = jpegs[k.Index]
+	}
+	stream, err := cvj.EncodeRawBytes(kfJpegs, cr.FPS())
+	if err != nil {
+		return fail(err)
+	}
+	return e.storeIngest(name, container, stream, len(frames), works)
 }
 
 // DeleteVideo removes a video and its key frames (admin use case).

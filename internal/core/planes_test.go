@@ -1,8 +1,11 @@
 package core
 
 import (
+	"bytes"
+
 	"testing"
 
+	"cbvr/internal/cvj"
 	"cbvr/internal/imaging"
 	"cbvr/internal/synthvid"
 
@@ -20,13 +23,14 @@ func TestBucketFromPlanesMatchesQueryBucket(t *testing.T) {
 	}
 }
 
-// TestIngestRescalesEachKeyFrameOnce verifies the end-to-end shared-plane
-// guarantee with the imaging rescale counter: ingest performs one
-// analysis rescale per raw frame for §4.1 key-frame selection (the naive
-// signature) plus exactly one per key frame for all seven descriptors and
-// the §4.2 range histogram together — not the eight per key frame the
-// naive extractors would pay.
-func TestIngestRescalesEachKeyFrameOnce(t *testing.T) {
+// TestIngestRescalesEachSourceFrameOnce verifies the end-to-end streamed
+// ingest guarantee with the imaging rescale counter: exactly one analysis
+// rescale per source frame, performed when the frame enters §4.1
+// selection, and zero additional rescales per key frame — extraction
+// reuses the selection-time analysis raster and naive signature. (The
+// shared-plane pipeline of PR 2 paid frames + key frames; streaming
+// extends the one-rescale invariant to the whole ingest path.)
+func TestIngestRescalesEachSourceFrameOnce(t *testing.T) {
 	eng := openTestEngine(t)
 	v := genVideo(synthvid.Movie, 12)
 	start := imaging.RescaleCalls()
@@ -35,13 +39,32 @@ func TestIngestRescalesEachKeyFrameOnce(t *testing.T) {
 		t.Fatal(err)
 	}
 	got := imaging.RescaleCalls() - start
-	want := int64(res.NumFrames + len(res.KeyFrameIDs))
+	want := int64(res.NumFrames)
 	if got != want {
-		t.Errorf("ingest performed %d rescales for %d frames / %d key frames, want %d (frames + key frames)",
+		t.Errorf("ingest performed %d rescales for %d frames / %d key frames, want %d (one per source frame)",
 			got, res.NumFrames, len(res.KeyFrameIDs), want)
 	}
 	if len(res.KeyFrameIDs) < 2 {
 		t.Fatalf("degenerate fixture: %d key frames", len(res.KeyFrameIDs))
+	}
+}
+
+// TestIngestStreamRescalesEachSourceFrameOnce pins the same invariant on
+// the reader-based entry point.
+func TestIngestStreamRescalesEachSourceFrameOnce(t *testing.T) {
+	eng := openTestEngine(t)
+	v := genVideo(synthvid.Cartoon, 15)
+	container, err := cvj.EncodeBytes(v.Frames, v.FPS, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := imaging.RescaleCalls()
+	res, err := eng.IngestVideoStream("cartoon_00", bytes.NewReader(container))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := imaging.RescaleCalls()-start, int64(res.NumFrames); got != want {
+		t.Errorf("streamed ingest performed %d rescales for %d frames, want %d", got, res.NumFrames, want)
 	}
 }
 

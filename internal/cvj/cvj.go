@@ -35,6 +35,11 @@ const Magic = "CVJ1"
 // Version is the current container version.
 const Version = 1
 
+// MaxFPS is the largest frame rate the uint16 header field can carry.
+// Encode and NewWriter reject larger values instead of silently wrapping
+// them around (fps 65536 used to be stored as 0).
+const MaxFPS = 65535
+
 // maxFrameSize bounds a single frame record to guard against corrupt
 // headers when decoding untrusted bytes.
 const maxFrameSize = 64 << 20
@@ -48,21 +53,89 @@ type Video struct {
 	Frames []*imaging.Image
 }
 
-// Encode writes frames as a CVJ stream. quality <= 0 selects the imaging
-// default JPEG quality.
-func Encode(w io.Writer, frames []*imaging.Image, fps, quality int) error {
-	if fps <= 0 {
-		fps = 12
+// Writer incrementally writes a CVJ stream from already-encoded JPEG
+// records: header at construction, one record per WriteJPEG, terminator and
+// trailer at Close. It is the streaming counterpart of Encode and the
+// mechanism the ingest pipeline uses to assemble containers and key-frame
+// streams from original frame bytes without a decode→re-encode round trip.
+type Writer struct {
+	bw     *bufio.Writer
+	count  int
+	closed bool
+}
+
+// NewWriter writes the container header and returns a record writer. The
+// frame rate is stored exactly as given; it must lie in [0, MaxFPS].
+func NewWriter(w io.Writer, fps int) (*Writer, error) {
+	if fps < 0 || fps > MaxFPS {
+		return nil, fmt.Errorf("cvj: fps %d outside [0, %d]", fps, MaxFPS)
 	}
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(Magic); err != nil {
-		return fmt.Errorf("cvj: write magic: %w", err)
+		return nil, fmt.Errorf("cvj: write magic: %w", err)
 	}
 	var hdr [4]byte
 	binary.BigEndian.PutUint16(hdr[0:2], Version)
 	binary.BigEndian.PutUint16(hdr[2:4], uint16(fps))
 	if _, err := bw.Write(hdr[:]); err != nil {
-		return fmt.Errorf("cvj: write header: %w", err)
+		return nil, fmt.Errorf("cvj: write header: %w", err)
+	}
+	return &Writer{bw: bw}, nil
+}
+
+// WriteJPEG appends one frame record. The bytes are stored verbatim; they
+// must be a non-empty JPEG no larger than the frame-size limit (an empty
+// record would read back as the stream terminator).
+func (w *Writer) WriteJPEG(jp []byte) error {
+	if w.closed {
+		return errors.New("cvj: write after Close")
+	}
+	if len(jp) == 0 {
+		return fmt.Errorf("cvj: frame %d empty", w.count)
+	}
+	if len(jp) > maxFrameSize {
+		return fmt.Errorf("cvj: frame %d size %d exceeds limit", w.count, len(jp))
+	}
+	var lenb [4]byte
+	binary.BigEndian.PutUint32(lenb[:], uint32(len(jp)))
+	if _, err := w.bw.Write(lenb[:]); err != nil {
+		return fmt.Errorf("cvj: write frame %d length: %w", w.count, err)
+	}
+	if _, err := w.bw.Write(jp); err != nil {
+		return fmt.Errorf("cvj: write frame %d: %w", w.count, err)
+	}
+	w.count++
+	return nil
+}
+
+// Count reports how many records have been written.
+func (w *Writer) Count() int { return w.count }
+
+// Close writes the terminator and trailer and flushes. The Writer cannot be
+// used afterwards.
+func (w *Writer) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	var tail [8]byte
+	binary.BigEndian.PutUint32(tail[0:4], 0)
+	binary.BigEndian.PutUint32(tail[4:8], uint32(w.count))
+	if _, err := w.bw.Write(tail[:]); err != nil {
+		return fmt.Errorf("cvj: write trailer: %w", err)
+	}
+	return w.bw.Flush()
+}
+
+// Encode writes frames as a CVJ stream. quality <= 0 selects the imaging
+// default JPEG quality; fps <= 0 selects 12; fps beyond MaxFPS is an error.
+func Encode(w io.Writer, frames []*imaging.Image, fps, quality int) error {
+	if fps <= 0 {
+		fps = 12
+	}
+	cw, err := NewWriter(w, fps)
+	if err != nil {
+		return err
 	}
 	var buf bytes.Buffer
 	for i, f := range frames {
@@ -70,22 +143,38 @@ func Encode(w io.Writer, frames []*imaging.Image, fps, quality int) error {
 		if err := f.EncodeJPEG(&buf, quality); err != nil {
 			return fmt.Errorf("cvj: encode frame %d: %w", i, err)
 		}
-		var lenb [4]byte
-		binary.BigEndian.PutUint32(lenb[:], uint32(buf.Len()))
-		if _, err := bw.Write(lenb[:]); err != nil {
-			return fmt.Errorf("cvj: write frame %d length: %w", i, err)
-		}
-		if _, err := bw.Write(buf.Bytes()); err != nil {
-			return fmt.Errorf("cvj: write frame %d: %w", i, err)
+		if err := cw.WriteJPEG(buf.Bytes()); err != nil {
+			return err
 		}
 	}
-	var tail [8]byte
-	binary.BigEndian.PutUint32(tail[0:4], 0)
-	binary.BigEndian.PutUint32(tail[4:8], uint32(len(frames)))
-	if _, err := bw.Write(tail[:]); err != nil {
-		return fmt.Errorf("cvj: write trailer: %w", err)
+	return cw.Close()
+}
+
+// EncodeRaw writes already-encoded JPEG frame records as a CVJ stream,
+// with the same fps defaulting as Encode.
+func EncodeRaw(w io.Writer, frames [][]byte, fps int) error {
+	if fps <= 0 {
+		fps = 12
 	}
-	return bw.Flush()
+	cw, err := NewWriter(w, fps)
+	if err != nil {
+		return err
+	}
+	for _, jp := range frames {
+		if err := cw.WriteJPEG(jp); err != nil {
+			return err
+		}
+	}
+	return cw.Close()
+}
+
+// EncodeRawBytes is EncodeRaw into a fresh byte slice.
+func EncodeRawBytes(frames [][]byte, fps int) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := EncodeRaw(&buf, frames, fps); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
 }
 
 // EncodeBytes is Encode into a fresh byte slice.
@@ -142,7 +231,7 @@ func NewReader(r io.Reader) (*Reader, error) {
 	}
 	var hdr [4]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
-		return nil, fmt.Errorf("cvj: read header: %w", err)
+		return nil, fmt.Errorf("cvj: read header: %w", truncated(err))
 	}
 	if v := binary.BigEndian.Uint16(hdr[0:2]); v != Version {
 		return nil, fmt.Errorf("cvj: unsupported version %d", v)
@@ -156,22 +245,56 @@ func (r *Reader) FPS() int { return r.fps }
 // FramesRead reports how many frames have been decoded so far.
 func (r *Reader) FramesRead() int { return r.count }
 
+// Frame is one streamed container record: the frame's position in the
+// video, the raw JPEG record bytes exactly as stored, and the decoded
+// image. JPEG is a fresh allocation the caller may retain; the ingest
+// pipeline stores it verbatim so stored key frames carry the container's
+// original bytes instead of a lossy decode→re-encode round trip.
+type Frame struct {
+	Index int
+	JPEG  []byte
+	Image *imaging.Image
+}
+
+// truncated converts a clean io.EOF into io.ErrUnexpectedEOF. Inside the
+// record stream running out of bytes is truncation, never a clean end —
+// before this mapping, a stream cut at a frame boundary produced an error
+// wrapping io.EOF, which errors.Is-style callers silently accepted as
+// end-of-stream.
+func truncated(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
 // Next decodes the next frame, or returns io.EOF after the last frame.
 // On EOF the trailer count has been verified against the frames read.
 func (r *Reader) Next() (*imaging.Image, error) {
+	f, err := r.NextFrame()
+	if err != nil {
+		return nil, err
+	}
+	return f.Image, nil
+}
+
+// NextFrame decodes the next frame along with its raw JPEG record, or
+// returns io.EOF after the last frame. A stream that ends before the
+// terminator and trailer yields an error wrapping io.ErrUnexpectedEOF.
+func (r *Reader) NextFrame() (*Frame, error) {
 	if r.done {
 		return nil, io.EOF
 	}
 	var lenb [4]byte
 	if _, err := io.ReadFull(r.br, lenb[:]); err != nil {
-		return nil, fmt.Errorf("cvj: read frame length: %w", err)
+		return nil, fmt.Errorf("cvj: read frame length: %w", truncated(err))
 	}
 	n := binary.BigEndian.Uint32(lenb[:])
 	if n == 0 {
 		// Terminator: validate trailer.
 		var cnt [4]byte
 		if _, err := io.ReadFull(r.br, cnt[:]); err != nil {
-			return nil, fmt.Errorf("cvj: read trailer: %w", err)
+			return nil, fmt.Errorf("cvj: read trailer: %w", truncated(err))
 		}
 		if got := binary.BigEndian.Uint32(cnt[:]); int(got) != r.count {
 			return nil, fmt.Errorf("cvj: trailer count %d != frames read %d", got, r.count)
@@ -184,12 +307,13 @@ func (r *Reader) Next() (*imaging.Image, error) {
 	}
 	jp := make([]byte, n)
 	if _, err := io.ReadFull(r.br, jp); err != nil {
-		return nil, fmt.Errorf("cvj: read frame %d: %w", r.count, err)
+		return nil, fmt.Errorf("cvj: read frame %d: %w", r.count, truncated(err))
 	}
 	im, err := imaging.DecodeJPEG(bytes.NewReader(jp))
 	if err != nil {
 		return nil, fmt.Errorf("cvj: frame %d: %w", r.count, err)
 	}
+	f := &Frame{Index: r.count, JPEG: jp, Image: im}
 	r.count++
-	return im, nil
+	return f, nil
 }

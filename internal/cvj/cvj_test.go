@@ -2,6 +2,7 @@ package cvj
 
 import (
 	"bytes"
+	"errors"
 	"io"
 	"testing"
 
@@ -120,5 +121,140 @@ func TestDefaultFPSApplied(t *testing.T) {
 	v, _ := DecodeBytes(raw)
 	if v.FPS != 12 {
 		t.Errorf("default fps = %d", v.FPS)
+	}
+}
+
+// A stream cut exactly at a frame boundary used to wrap io.EOF, so
+// errors.Is(err, io.EOF) callers silently accepted truncated video as a
+// clean end-of-stream. It must surface as io.ErrUnexpectedEOF.
+func TestTruncationAtFrameBoundaryIsUnexpectedEOF(t *testing.T) {
+	frames := testFrames(2)
+	raw, _ := EncodeBytes(frames, 10, 0)
+	r, err := NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the boundary right after the first frame record.
+	f, err := r.NextFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	boundary := 8 + 4 + len(f.JPEG) // header + length prefix + record
+	cuts := map[string]int{
+		"after first record": boundary,
+		"inside length":      boundary + 2,
+		"before trailer":     len(raw) - 6,
+		"mid second record":  boundary + 10,
+	}
+	for name, cut := range cuts {
+		_, err := DecodeBytes(raw[:cut])
+		if err == nil {
+			t.Fatalf("%s: truncation accepted", name)
+		}
+		if !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Errorf("%s: error %v does not wrap io.ErrUnexpectedEOF", name, err)
+		}
+		if errors.Is(err, io.EOF) {
+			t.Errorf("%s: error %v wraps io.EOF — truncation reads as clean end-of-stream", name, err)
+		}
+	}
+}
+
+// fps values beyond the uint16 header field used to wrap around silently
+// (65536 stored as 0). They must be rejected at encode time.
+func TestEncodeFPSRange(t *testing.T) {
+	frames := testFrames(1)
+	if _, err := EncodeBytes(frames, MaxFPS, 0); err != nil {
+		t.Fatalf("fps %d rejected: %v", MaxFPS, err)
+	}
+	v, err := DecodeBytes(mustEncode(t, frames, MaxFPS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.FPS != MaxFPS {
+		t.Errorf("fps %d stored as %d", MaxFPS, v.FPS)
+	}
+	if _, err := EncodeBytes(frames, MaxFPS+1, 0); err == nil {
+		t.Errorf("fps %d accepted", MaxFPS+1)
+	}
+	if _, err := NewWriter(io.Discard, -1); err == nil {
+		t.Error("negative fps accepted by NewWriter")
+	}
+	if _, err := EncodeRawBytes([][]byte{{0xff}}, MaxFPS+1); err == nil {
+		t.Error("EncodeRaw accepted out-of-range fps")
+	}
+}
+
+func mustEncode(t *testing.T, frames []*imaging.Image, fps int) []byte {
+	t.Helper()
+	raw, err := EncodeBytes(frames, fps, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// NextFrame must expose the exact record bytes: re-assembling a container
+// from the streamed records reproduces it bit for bit, and the decoded
+// image matches an independent decode of those bytes.
+func TestNextFrameRawRecordsRoundTrip(t *testing.T) {
+	frames := testFrames(5)
+	raw := mustEncode(t, frames, 24)
+	r, err := NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rebuilt bytes.Buffer
+	w, err := NewWriter(&rebuilt, r.FPS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; ; i++ {
+		f, err := r.NextFrame()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Index != i {
+			t.Fatalf("frame %d reports index %d", i, f.Index)
+		}
+		im, err := imaging.DecodeJPEG(bytes.NewReader(f.JPEG))
+		if err != nil {
+			t.Fatalf("frame %d JPEG bytes do not decode: %v", i, err)
+		}
+		if !im.Equal(f.Image) {
+			t.Fatalf("frame %d decoded image differs from record bytes", i)
+		}
+		if err := w.WriteJPEG(f.JPEG); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rebuilt.Bytes(), raw) {
+		t.Fatal("re-assembled container differs from original")
+	}
+}
+
+func TestWriterRejectsEmptyRecordAndWriteAfterClose(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteJPEG(nil); err == nil {
+		t.Error("empty record accepted")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteJPEG([]byte{0xff}); err == nil {
+		t.Error("write after Close accepted")
+	}
+	if err := w.Close(); err != nil {
+		t.Errorf("double Close: %v", err)
 	}
 }

@@ -27,9 +27,14 @@ type NaiveSignature struct {
 	Sig [NaivePoints][3]uint8
 }
 
-// ExtractNaive computes the §4.6 signature of a frame.
+// ExtractNaive computes the §4.6 signature of a frame. The rescale target
+// equals the analysis raster size, so a frame that already has analysis
+// dimensions is sampled directly — nearest-neighbour rescale to identical
+// dimensions is the identity, so the signature is unchanged, and the
+// streamed ingest pipeline can run selection over pre-scaled rasters
+// without paying a second rescale.
 func ExtractNaive(im *imaging.Image) *NaiveSignature {
-	return naiveFromScaled(im.Rescale(naiveBaseSize, naiveBaseSize))
+	return naiveFromScaled(analysisImage(im))
 }
 
 // ExtractNaiveWith computes the signature from shared analysis planes.

@@ -1,6 +1,10 @@
 package features
 
-import "cbvr/internal/imaging"
+import (
+	"sync"
+
+	"cbvr/internal/imaging"
+)
 
 // Planes holds the per-frame analysis rasters every extractor consumes,
 // computed exactly once. Before this existed, each of the seven extractors
@@ -30,18 +34,52 @@ type Planes struct {
 
 // NewPlanes computes the shared analysis planes for a frame.
 func NewPlanes(im *imaging.Image) *Planes {
+	p := &Planes{}
+	p.reset(im)
+	return p
+}
+
+// planesPool recycles Planes whose Gray and Quant buffers are already
+// analysis-sized, so a steady-state ingest worker computes planes with zero
+// per-frame raster allocations. Analysis is never pooled: it is either the
+// caller's frame or a rescale the descriptors may alias.
+var planesPool = sync.Pool{New: func() any { return &Planes{} }}
+
+// AcquirePlanes is NewPlanes over pooled buffers. The returned planes are
+// valid until Release; every descriptor the extractors produce copies out
+// of the shared rasters (see shared_test.go's pool-aliasing tests), so the
+// extracted Sets stay valid after the planes are recycled.
+func AcquirePlanes(im *imaging.Image) *Planes {
+	p := planesPool.Get().(*Planes)
+	p.reset(im)
+	return p
+}
+
+// Release returns the planes' Gray and Quant buffers to the pool. The
+// planes must not be used afterwards.
+func (p *Planes) Release() {
+	p.Analysis = nil
+	planesPool.Put(p)
+}
+
+// reset recomputes every plane for a frame, reusing buffers in place.
+func (p *Planes) reset(im *imaging.Image) {
 	a := analysisImage(im)
-	g := a.ToGray()
-	p := &Planes{
-		Analysis: a,
-		Gray:     g,
-		Quant:    make([]uint8, a.W*a.H),
-		GrayHist: g.Histogram(),
+	n := a.W * a.H
+	p.Analysis = a
+	if p.Gray == nil {
+		p.Gray = &imaging.Gray{}
 	}
-	for i, pi := 0, 0; i < len(p.Quant); i, pi = i+1, pi+3 {
+	a.ToGrayInto(p.Gray)
+	if cap(p.Quant) < n {
+		p.Quant = make([]uint8, n)
+	} else {
+		p.Quant = p.Quant[:n]
+	}
+	p.GrayHist = p.Gray.Histogram()
+	for i, pi := 0, 0; i < n; i, pi = i+1, pi+3 {
 		p.Quant[i] = uint8(QuantizeHSV(a.Pix[pi], a.Pix[pi+1], a.Pix[pi+2]))
 	}
-	return p
 }
 
 // ExtractAllShared computes all seven descriptors for a frame through one
@@ -53,13 +91,22 @@ func ExtractAllShared(im *imaging.Image) *Set {
 
 // ExtractAll computes all seven descriptors from already-computed planes.
 func (p *Planes) ExtractAll() *Set {
+	return p.ExtractAllWithNaive(ExtractNaiveWith(p))
+}
+
+// ExtractAllWithNaive computes the other six descriptors from the planes
+// and installs a precomputed naive signature instead of sampling it again.
+// The streamed ingest pipeline passes the §4.1 selection-time signature,
+// which was sampled from the same analysis raster, so the resulting Set is
+// bit-identical to ExtractAll's.
+func (p *Planes) ExtractAllWithNaive(sig *NaiveSignature) *Set {
 	return &Set{
 		Histogram:   ExtractColorHistogramWith(p),
 		GLCM:        ExtractGLCMWith(p),
 		Gabor:       ExtractGaborWith(p),
 		Tamura:      ExtractTamuraWith(p),
 		Correlogram: ExtractCorrelogramWith(p),
-		Naive:       ExtractNaiveWith(p),
+		Naive:       sig,
 		Regions:     ExtractRegionsWith(p),
 	}
 }

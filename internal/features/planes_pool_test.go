@@ -1,0 +1,128 @@
+package features
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+
+	"cbvr/internal/imaging"
+)
+
+// TestAcquirePlanesBitIdentity pins the pooled-planes path to the retained
+// reference: acquiring, extracting and releasing must produce exactly the
+// reference descriptor strings, and recycling the buffers for another frame
+// must not disturb descriptors extracted earlier (every descriptor copies
+// out of the shared rasters).
+func TestAcquirePlanesBitIdentity(t *testing.T) {
+	type extracted struct {
+		name string
+		want *Set
+		got  *Set
+	}
+	var all []extracted
+	for name, im := range equivalenceFrames() {
+		p := AcquirePlanes(im)
+		got := p.ExtractAll()
+		p.Release()
+		all = append(all, extracted{name: name, want: ExtractAllReference(im), got: got})
+	}
+	// Churn the pool after all extractions so stale aliasing would show.
+	for i := 0; i < 4; i++ {
+		p := AcquirePlanes(randomFrame(int64(900+i), 128, 96))
+		p.ExtractAll()
+		p.Release()
+	}
+	for _, e := range all {
+		for _, k := range AllKinds() {
+			if ws, gs := e.want.Get(k).String(), e.got.Get(k).String(); ws != gs {
+				t.Errorf("%s/%v: pooled planes diverge from reference", e.name, k)
+			}
+		}
+	}
+}
+
+// TestExtractAllWithNaiveInstallsSignature checks that the precomputed
+// signature is installed verbatim and matches what a recompute would have
+// produced from the same planes.
+func TestExtractAllWithNaiveInstallsSignature(t *testing.T) {
+	im := randomFrame(11, 200, 150)
+	p := NewPlanes(im)
+	sig := ExtractNaiveWith(p)
+	set := p.ExtractAllWithNaive(sig)
+	if set.Naive != sig {
+		t.Error("signature not installed verbatim")
+	}
+	if set.Naive.String() != ExtractNaive(im).String() {
+		t.Error("installed signature diverges from a fresh extraction")
+	}
+	ref := p.ExtractAll()
+	for _, k := range AllKinds() {
+		if set.Get(k).String() != ref.Get(k).String() {
+			t.Errorf("%v: ExtractAllWithNaive diverges from ExtractAll", k)
+		}
+	}
+}
+
+// TestExtractNaivePrescaledRaster pins the selection-time optimisation the
+// streamed ingest relies on: extracting from an already-analysis-sized
+// raster performs no rescale and yields the identical signature.
+func TestExtractNaivePrescaledRaster(t *testing.T) {
+	im := randomFrame(12, 320, 240)
+	want := ExtractNaive(im).String()
+	scaled := AnalysisRaster(im)
+	start := imaging.RescaleCalls()
+	got := ExtractNaive(scaled).String()
+	if n := imaging.RescaleCalls() - start; n != 0 {
+		t.Errorf("pre-scaled naive extraction performed %d rescales, want 0", n)
+	}
+	if got != want {
+		t.Error("pre-scaled signature diverges from full-resolution extraction")
+	}
+}
+
+// TestAcquirePlanesConcurrent drives the pooled-planes path from a worker
+// pool the way streamed ingest does, under -race: concurrent acquire /
+// extract / release cycles must never let recycled Gray or Quant buffers
+// bleed between frames.
+func TestAcquirePlanesConcurrent(t *testing.T) {
+	const frames = 4
+	ims := make([]*imaging.Image, frames)
+	want := make([][]string, frames)
+	for i := range ims {
+		ims[i] = randomFrame(int64(300+i), 100+12*i, 80+6*i)
+		set := ExtractAllReference(ims[i])
+		for _, k := range AllKinds() {
+			want[i] = append(want[i], set.Get(k).String())
+		}
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 4 {
+		workers = 4
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for it := 0; it < 6; it++ {
+				i := (w + it) % frames
+				p := AcquirePlanes(ims[i])
+				set := p.ExtractAllWithNaive(ExtractNaiveWith(p))
+				p.Release()
+				for ki, k := range AllKinds() {
+					if got := set.Get(k).String(); got != want[i][ki] {
+						errs <- fmt.Errorf("worker %d frame %d: %v diverged through the pool", w, i, k)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

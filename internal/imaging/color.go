@@ -32,6 +32,26 @@ func (im *Image) ToGray() *Gray {
 	return out
 }
 
+// ToGrayInto converts the RGB raster to grayscale into dst, reusing dst's
+// pixel buffer when it is large enough, and returns dst resized to the
+// image's dimensions. It is the allocation-free counterpart of ToGray for
+// pooled buffers.
+func (im *Image) ToGrayInto(dst *Gray) *Gray {
+	n := im.W * im.H
+	dst.W, dst.H = im.W, im.H
+	if cap(dst.Pix) < n {
+		dst.Pix = make([]uint8, n)
+	} else {
+		dst.Pix = dst.Pix[:n]
+	}
+	si := 0
+	for i := range dst.Pix {
+		dst.Pix[i] = GrayValue(im.Pix[si], im.Pix[si+1], im.Pix[si+2])
+		si += 3
+	}
+	return dst
+}
+
 // ToImage converts a grayscale raster back to RGB with equal channels.
 func (g *Gray) ToImage() *Image {
 	out := New(g.W, g.H)

@@ -63,24 +63,50 @@ func (e Extractor) Extract(frames []*imaging.Image) ([]KeyFrame, error) {
 // first frame of each run is kept; following frames within the threshold
 // are "deleted"; the first frame beyond the threshold starts the next run.
 func (e Extractor) ExtractReader(r FrameReader) ([]KeyFrame, error) {
+	var ptrs []*KeyFrame
+	err := e.ExtractStream(r, func(k *KeyFrame) error {
+		ptrs = append(ptrs, k)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(ptrs) == 0 {
+		return nil, nil
+	}
+	out := make([]KeyFrame, len(ptrs))
+	for i, k := range ptrs {
+		out[i] = *k
+	}
+	return out, nil
+}
+
+// ExtractStream runs §4.1 selection over a streaming frame source, calling
+// emit for each selected key frame as soon as it is chosen — before the
+// next frame is read — so callers can overlap feature extraction of a key
+// frame with decoding of the frames that follow it (the streamed ingest
+// pipeline's shape). The emitted KeyFrame's Index, Image and Signature are
+// final at emission; RunLength keeps growing in place as later frames
+// collapse into the run and is only final once ExtractStream returns. An
+// error from emit aborts selection.
+func (e Extractor) ExtractStream(r FrameReader, emit func(*KeyFrame) error) error {
 	thr := e.threshold()
-	var out []KeyFrame
+	var cur *KeyFrame
 	idx := -1
 	for {
 		im, err := r.Next()
 		if err == io.EOF {
-			break
+			return nil
 		}
 		if err != nil {
-			return nil, fmt.Errorf("keyframe: read frame %d: %w", idx+1, err)
+			return fmt.Errorf("keyframe: read frame %d: %w", idx+1, err)
 		}
 		idx++
 		sig := features.ExtractNaive(im)
-		if len(out) > 0 {
-			cur := &out[len(out)-1]
+		if cur != nil {
 			dist, derr := cur.Signature.DistanceTo(sig)
 			if derr != nil {
-				return nil, derr
+				return derr
 			}
 			if dist <= thr {
 				// Similar to the current key frame: collapse.
@@ -88,9 +114,11 @@ func (e Extractor) ExtractReader(r FrameReader) ([]KeyFrame, error) {
 				continue
 			}
 		}
-		out = append(out, KeyFrame{Index: idx, Image: im, Signature: sig, RunLength: 1})
+		cur = &KeyFrame{Index: idx, Image: im, Signature: sig, RunLength: 1}
+		if err := emit(cur); err != nil {
+			return err
+		}
 	}
-	return out, nil
 }
 
 // sliceReader adapts a frame slice to FrameReader.

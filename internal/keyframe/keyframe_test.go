@@ -2,6 +2,7 @@ package keyframe
 
 import (
 	"errors"
+	"fmt"
 	"io"
 	"testing"
 
@@ -151,5 +152,102 @@ func TestSignatureRetained(t *testing.T) {
 	kfs, _ := Extractor{}.Extract([]*imaging.Image{solidFrame(9, 9, 9)})
 	if kfs[0].Signature == nil {
 		t.Error("signature not retained")
+	}
+}
+
+// eventReader wraps a sliceReader and logs each read so tests can verify
+// emission interleaves with decoding.
+type eventReader struct {
+	inner  FrameReader
+	events *[]string
+	next   int
+}
+
+func (r *eventReader) Next() (*imaging.Image, error) {
+	im, err := r.inner.Next()
+	if err == nil {
+		*r.events = append(*r.events, fmt.Sprintf("read %d", r.next))
+		r.next++
+	}
+	return im, err
+}
+
+// TestExtractStreamMatchesExtract pins the streaming emission path to the
+// batch extractor: same indices, signatures and final run lengths.
+func TestExtractStreamMatchesExtract(t *testing.T) {
+	v := synthvid.Generate(synthvid.Sports, synthvid.Config{Frames: 36, Shots: 5, Seed: 21})
+	want, err := (Extractor{}).Extract(v.Frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []*KeyFrame
+	err = (Extractor{}).ExtractStream(&sliceReader{frames: v.Frames}, func(k *KeyFrame) error {
+		got = append(got, k)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("stream emitted %d key frames, batch selected %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Index != want[i].Index {
+			t.Errorf("key frame %d: index %d != %d", i, got[i].Index, want[i].Index)
+		}
+		if got[i].RunLength != want[i].RunLength {
+			t.Errorf("key frame %d: run length %d != %d", i, got[i].RunLength, want[i].RunLength)
+		}
+		if got[i].Signature.String() != want[i].Signature.String() {
+			t.Errorf("key frame %d: signature diverges", i)
+		}
+		if !got[i].Image.Equal(want[i].Image) {
+			t.Errorf("key frame %d: image diverges", i)
+		}
+	}
+}
+
+// TestExtractStreamEmitsBeforeNextRead verifies the pipelining contract: a
+// key frame is handed to emit before the following frame is decoded.
+func TestExtractStreamEmitsBeforeNextRead(t *testing.T) {
+	v := synthvid.Generate(synthvid.Cartoon, synthvid.Config{Frames: 24, Shots: 4, Seed: 22})
+	var events []string
+	r := &eventReader{inner: &sliceReader{frames: v.Frames}, events: &events}
+	err := (Extractor{}).ExtractStream(r, func(k *KeyFrame) error {
+		events = append(events, fmt.Sprintf("emit %d", k.Index))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ev := range events {
+		var idx int
+		if n, _ := fmt.Sscanf(ev, "emit %d", &idx); n != 1 {
+			continue
+		}
+		if i == 0 || events[i-1] != fmt.Sprintf("read %d", idx) {
+			t.Fatalf("key frame %d emitted out of order: %v", idx, events[max(0, i-2):i+1])
+		}
+	}
+	if len(events) < 2 || events[0] != "read 0" || events[1] != "emit 0" {
+		t.Fatalf("frame 0 not emitted immediately: %v", events[:2])
+	}
+}
+
+// TestExtractStreamEmitErrorAborts checks that an emit error stops
+// selection and propagates.
+func TestExtractStreamEmitErrorAborts(t *testing.T) {
+	v := synthvid.Generate(synthvid.News, synthvid.Config{Frames: 16, Shots: 3, Seed: 23})
+	sentinel := errors.New("stop")
+	var emitted int
+	err := (Extractor{}).ExtractStream(&sliceReader{frames: v.Frames}, func(k *KeyFrame) error {
+		emitted++
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("emit error not propagated: %v", err)
+	}
+	if emitted != 1 {
+		t.Fatalf("selection continued after emit error (%d emissions)", emitted)
 	}
 }

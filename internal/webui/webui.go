@@ -10,7 +10,6 @@ import (
 	"encoding/base64"
 	"fmt"
 	"html/template"
-	"io"
 	"net/http"
 	"strconv"
 
@@ -244,16 +243,15 @@ func (s *Server) handleAdminUpload(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer file.Close()
-	raw, err := io.ReadAll(file)
-	if err != nil {
-		http.Error(w, "upload truncated", http.StatusBadRequest)
-		return
-	}
 	name := r.FormValue("name")
 	if name == "" {
 		name = hdr.Filename
 	}
-	if _, err := s.eng.IngestVideo(name, raw); err != nil {
+	// Stream the upload straight into ingest: the engine decodes and
+	// indexes frame by frame, so large clips never materialise as decoded
+	// frame slices (truncated uploads surface as io.ErrUnexpectedEOF from
+	// the container reader).
+	if _, err := s.eng.IngestVideoStream(name, file); err != nil {
 		http.Error(w, "ingest failed: "+err.Error(), http.StatusBadRequest)
 		return
 	}

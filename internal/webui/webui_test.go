@@ -281,3 +281,29 @@ func TestEndToEndSearchFlow(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestAdminUploadTruncatedContainerRejected streams a container cut at a
+// frame boundary through the upload handler: the streamed ingest must
+// reject it (io.ErrUnexpectedEOF inside) with a 400 and commit nothing.
+func TestAdminUploadTruncatedContainerRejected(t *testing.T) {
+	srv, eng, _ := newTestServer(t)
+	v := synthvid.Generate(synthvid.Movie, synthvid.Config{Width: 96, Height: 72, Frames: 8, Shots: 2, Seed: 5})
+	raw, err := cvj.EncodeBytes(v.Frames, v.FPS, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, ctype := multipartBody(t, "video", "cut.cvj", raw[:len(raw)-6], map[string]string{"name": "cut_00"})
+	req := httptest.NewRequest(http.MethodPost, "/admin/upload", body)
+	req.Header.Set("Content-Type", ctype)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	vids, _ := eng.Store().ListVideos(nil)
+	for _, vi := range vids {
+		if vi.Name == "cut_00" {
+			t.Error("truncated upload committed")
+		}
+	}
+}
