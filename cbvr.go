@@ -64,6 +64,9 @@ type VideoMatch = core.VideoMatch
 // IngestResult summarises an ingested video.
 type IngestResult = core.IngestResult
 
+// ReindexResult summarises one re-indexed video.
+type ReindexResult = core.ReindexResult
+
 // StoreOptions tunes the embedded database engine.
 type StoreOptions = vstore.Options
 
@@ -133,6 +136,17 @@ func (s *System) IngestFrames(name string, frames []*Image, fps int) (*IngestRes
 // DeleteVideo removes a video and its key frames (the paper's
 // administrator role).
 func (s *System) DeleteVideo(videoID int64) error { return s.eng.DeleteVideo(videoID) }
+
+// ReindexVideo re-extracts every descriptor of a stored video from its
+// stored key-frame stream and replaces the feature rows transactionally —
+// no re-upload, and the video stays searchable (old rows) until the new
+// rows commit. Run it after the extraction code changes.
+func (s *System) ReindexVideo(videoID int64) (*ReindexResult, error) {
+	return s.eng.ReindexVideo(videoID)
+}
+
+// ReindexAll re-indexes every stored video in V_ID order.
+func (s *System) ReindexAll() ([]*ReindexResult, error) { return s.eng.ReindexAll() }
 
 // Search ranks stored key frames against a query frame. Scoring fans out
 // across the engine's cache shards; it is safe to call concurrently with

@@ -12,6 +12,7 @@
 //	cbvrctl describe -image frame.jpg                 # Fig. 8 output
 //	cbvrctl export   -db cbvr.db -id 3 -out clip.cvj
 //	cbvrctl delete   -db cbvr.db -id 3
+//	cbvrctl reindex  -db cbvr.db [-id 3]              # rebuild feature rows
 //	cbvrctl stats    -db cbvr.db
 package main
 
@@ -53,6 +54,8 @@ func main() {
 		err = cmdExport(args)
 	case "delete":
 		err = cmdDelete(args)
+	case "reindex":
+		err = cmdReindex(args)
 	case "stats":
 		err = cmdStats(args)
 	default:
@@ -66,7 +69,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: cbvrctl <init|gen|ingest|list|query|queryvid|describe|export|delete|stats> [flags]
+	fmt.Fprintln(os.Stderr, `usage: cbvrctl <init|gen|ingest|list|query|queryvid|describe|export|delete|reindex|stats> [flags]
 run "cbvrctl <command> -h" for command flags`)
 }
 
@@ -341,6 +344,34 @@ func cmdDelete(args []string) error {
 	}
 	fmt.Printf("deleted video %d\n", *id)
 	return nil
+}
+
+func cmdReindex(args []string) error {
+	fs := flag.NewFlagSet("reindex", flag.ExitOnError)
+	db := fs.String("db", "", "database path")
+	id := fs.Int64("id", 0, "video id (0 = every stored video)")
+	fs.Parse(args)
+	sys, err := openSystem(*db)
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+	var results []*cbvr.ReindexResult
+	if *id != 0 {
+		res, err := sys.ReindexVideo(*id)
+		if err != nil {
+			return err
+		}
+		results = []*cbvr.ReindexResult{res}
+	} else {
+		// Partial results still print: each video commits independently,
+		// so completed rebuilds are durable even if a later one fails.
+		results, err = sys.ReindexAll()
+	}
+	for _, r := range results {
+		fmt.Printf("reindexed %-20s video=%d keyframes=%d\n", r.VideoName, r.VideoID, r.KeyFrames)
+	}
+	return err
 }
 
 func cmdStats(args []string) error {

@@ -75,13 +75,19 @@ func KeyFramesSchema() vstore.Schema {
 }
 
 // Video is a VIDEO_STORE row. Video and Stream are raw CVJ container
-// bytes; they are nil when loaded lazily (see Store.VideoBytes).
+// bytes; they are nil when loaded lazily (see Store.VideoBytes). VideoRef
+// and StreamRef, when set, reference blob chains already written through a
+// vstore.BlobWriter — the spooled ingest path streams container bytes into
+// the store page by page and inserts the references, so the compressed
+// container never has to sit in memory.
 type Video struct {
-	ID      int64
-	Name    string
-	Video   []byte
-	Stream  []byte
-	DoStore time.Time
+	ID        int64
+	Name      string
+	Video     []byte
+	Stream    []byte
+	VideoRef  vstore.BlobRef
+	StreamRef vstore.BlobRef
+	DoStore   time.Time
 }
 
 // VideoInfo is a listing row without the BLOB payloads.
@@ -192,11 +198,19 @@ func (s *Store) InsertVideo(tx *vstore.Txn, v *Video) (int64, error) {
 	if when.IsZero() {
 		when = time.Unix(0, 0).UTC()
 	}
+	video := vstore.Blob(v.Video)
+	if !v.VideoRef.IsZero() {
+		video = vstore.BlobRefV(v.VideoRef)
+	}
+	stream := vstore.Blob(v.Stream)
+	if !v.StreamRef.IsZero() {
+		stream = vstore.BlobRefV(v.StreamRef)
+	}
 	id, err := s.videos.Insert(tx, []vstore.Value{
 		pk,
 		vstore.Text(v.Name),
-		vstore.Blob(v.Video),
-		vstore.Blob(v.Stream),
+		video,
+		stream,
 		vstore.TimeV(when),
 	})
 	if err != nil {
@@ -228,6 +242,17 @@ func (s *Store) VideoBytes(tx *vstore.Txn, id int64) ([]byte, bool, error) {
 	}
 	b, err := s.db.ReadBlob(tx, row[2].Blob)
 	return b, true, err
+}
+
+// VideoRefs fetches the VIDEO and STREAM blob references without reading
+// either payload — the entry point for streaming readers (export,
+// re-index) that must not materialise the container.
+func (s *Store) VideoRefs(tx *vstore.Txn, id int64) (video, stream vstore.BlobRef, ok bool, err error) {
+	row, ok, err := s.videos.Get(tx, id)
+	if err != nil || !ok {
+		return vstore.BlobRef{}, vstore.BlobRef{}, false, err
+	}
+	return row[2].Blob, row[3].Blob, true, nil
 }
 
 // StreamBytes fetches the STREAM blob (key-frame CVJ).
@@ -317,6 +342,38 @@ func (s *Store) InsertKeyFrame(tx *vstore.Txn, k *KeyFrame) (int64, error) {
 	}
 	k.ID = id
 	return id, nil
+}
+
+// UpdateKeyFrame replaces the KEY_FRAMES row at k.ID inside tx. When
+// k.Image is nil the existing IMAGE blob chain (k.ImageRef) is kept as-is
+// — the re-index path rewrites every feature column without touching the
+// stored JPEG; a non-nil Image writes a fresh chain and frees the old one.
+func (s *Store) UpdateKeyFrame(tx *vstore.Txn, k *KeyFrame) error {
+	image := vstore.Blob(k.Image)
+	if k.Image == nil && !k.ImageRef.IsZero() {
+		image = vstore.BlobRefV(k.ImageRef)
+	}
+	err := s.frames.Update(tx, k.ID, []vstore.Value{
+		vstore.Int64(k.ID),
+		vstore.Text(k.Name),
+		image,
+		vstore.Int64(int64(k.Min)),
+		vstore.Int64(int64(k.Max)),
+		vstore.Text(k.SCH),
+		vstore.Text(k.GLCM),
+		vstore.Text(k.Gabor),
+		vstore.Text(k.Tamura),
+		vstore.Int64(int64(k.MajorRegions)),
+		vstore.Int64(k.VideoID),
+		vstore.Text(k.ACC),
+		vstore.Text(k.Naive),
+		vstore.Text(k.Regions),
+		vstore.Int64(int64(k.FrameIndex)),
+	})
+	if err != nil {
+		return fmt.Errorf("catalog: update key frame %d: %w", k.ID, err)
+	}
+	return nil
 }
 
 func keyFrameFromRow(pk int64, row []vstore.Value) *KeyFrame {

@@ -115,14 +115,19 @@ type IngestResult struct {
 // per shard; ingest and delete update the owning shard under the engine
 // write lock. See DESIGN.md ("Sharded search pipeline").
 type Engine struct {
-	store *catalog.Store
-	opts  Options
+	store   *catalog.Store
+	opts    Options
+	rasters *rasterPool // recycled per-source-frame analysis rasters
 
 	mu     sync.RWMutex
 	shards []map[int64]*frameEntry // key-frame ID -> parsed descriptors, by id mod N
 	index  *rangeindex.ShardedIndex
 	vname  map[int64]string // video ID -> name
 	warm   bool
+
+	// reindexHook, when set by tests, fires at named points inside
+	// ReindexVideo's replacement transaction (fault injection).
+	reindexHook func(stage string)
 }
 
 // frameEntry caches one key frame's parsed state for scoring.
@@ -147,11 +152,12 @@ func Open(path string, opts Options) (*Engine, error) {
 		shards[i] = make(map[int64]*frameEntry)
 	}
 	return &Engine{
-		store:  st,
-		opts:   opts,
-		shards: shards,
-		index:  rangeindex.NewSharded(n),
-		vname:  make(map[int64]string),
+		store:   st,
+		opts:    opts,
+		rasters: newRasterPool(),
+		shards:  shards,
+		index:   rangeindex.NewSharded(n),
+		vname:   make(map[int64]string),
 	}, nil
 }
 
@@ -235,10 +241,9 @@ func (e *Engine) IngestFrames(name string, frames []*imaging.Image, fps int) (*I
 }
 
 // IngestVideo runs the full ingest pipeline on an in-memory CVJ container.
-// It is a thin wrapper over the streaming path (see IngestVideoStream)
-// that stores the container bytes verbatim.
+// It is a thin wrapper over the streaming path (see IngestVideoStream).
 func (e *Engine) IngestVideo(name string, container []byte) (*IngestResult, error) {
-	return e.ingestStream(name, bytes.NewReader(container), container)
+	return e.ingestStream(name, bytes.NewReader(container))
 }
 
 // IngestVideoStream runs the full ingest pipeline directly from a
@@ -253,7 +258,7 @@ func (e *Engine) IngestVideo(name string, container []byte) (*IngestResult, erro
 // installed into each key frame's descriptor set instead of being
 // recomputed. See DESIGN.md ("Streamed ingest").
 func (e *Engine) IngestVideoStream(name string, r io.Reader) (*IngestResult, error) {
-	return e.ingestStream(name, r, nil)
+	return e.ingestStream(name, r)
 }
 
 // kfWork carries one selected key frame through the extraction pool.
@@ -267,17 +272,22 @@ type kfWork struct {
 }
 
 // streamFrameSource adapts a cvj.Reader to key-frame selection. Each frame
-// is rescaled to the 300×300 analysis raster exactly once and handed to
-// selection pre-scaled (ExtractNaive samples analysis-sized rasters
-// directly, with no further rescale); the frame's original JPEG record is
-// retained until the next read so ExtractStream's emit callback — which
-// runs before the next read — can claim it for storage. Full-resolution
-// decodes are dropped immediately and non-key-frame rasters die with the
-// next iteration.
+// is rescaled to the 300×300 analysis raster exactly once — into a pooled
+// raster (see rasterPool), so steady-state decoding of non-key frames
+// allocates no raster memory — and handed to selection pre-scaled
+// (ExtractNaive samples analysis-sized rasters directly, with no further
+// rescale); the frame's original JPEG record is retained until the next
+// read so ExtractStream's emit callback — which runs before the next read
+// — can claim it for storage. Every decoded record is also appended to the
+// spooled container writer, so the compressed bytes land in blob pages as
+// they arrive. Full-resolution decodes are dropped immediately;
+// non-key-frame rasters return to the pool via the extractor's Recycle
+// hook.
 type streamFrameSource struct {
 	cr   *cvj.Reader
-	cw   *cvj.Writer // re-assembles container bytes; nil when caller has them
+	cw   *cvj.Writer // re-assembles container bytes into the spooled blob
 	jpeg []byte      // latest frame's original record bytes
+	pool *rasterPool
 }
 
 func (s *streamFrameSource) Next() (*imaging.Image, error) {
@@ -285,37 +295,45 @@ func (s *streamFrameSource) Next() (*imaging.Image, error) {
 	if err != nil {
 		return nil, err // io.EOF passes through to end selection
 	}
-	if s.cw != nil {
-		if err := s.cw.WriteJPEG(f.JPEG); err != nil {
-			return nil, err
-		}
+	if err := s.cw.WriteJPEG(f.JPEG); err != nil {
+		return nil, err
 	}
 	s.jpeg = f.JPEG
-	return features.AnalysisRaster(f.Image), nil
+	if f.Image.W == features.AnalysisSize && f.Image.H == features.AnalysisSize {
+		return f.Image, nil // already analysis-sized; never pooled
+	}
+	return f.Image.RescaleInto(s.pool.get(), features.AnalysisSize, features.AnalysisSize), nil
 }
 
 // ingestStream is the shared ingest pipeline behind IngestVideo and
-// IngestVideoStream. container is the verbatim bytes when the caller
-// already holds them, else nil and the container is re-assembled
-// record-for-record from the stream (bit-identical for well-formed
-// containers). All failure paths run on the decode loop, so errors are
-// deterministic — the first failing frame in stream order wins, and
-// nothing touches the database until every key frame has extracted
-// cleanly.
-func (e *Engine) ingestStream(name string, r io.Reader, container []byte) (*IngestResult, error) {
+// IngestVideoStream. One transaction spans the whole ingest: container
+// records spool into VIDEO blob pages as they are decoded (bit-identical
+// re-assembly for well-formed containers), so the compressed container
+// never sits fully in memory — peak memory is O(key frames) + O(buffer
+// pool). All failure paths run on the decode loop and abort the
+// transaction, so errors are deterministic — the first failing frame in
+// stream order wins, and nothing commits until every key frame has
+// extracted cleanly. The writer lock is held for the duration (vstore's
+// single-writer model); warm searches run entirely off the in-memory cache
+// and are not blocked.
+func (e *Engine) ingestStream(name string, r io.Reader) (*IngestResult, error) {
 	fail := func(err error) (*IngestResult, error) {
 		return nil, fmt.Errorf("core: ingest %q: %w", name, err)
 	}
 	cr, err := cvj.NewReader(r)
 	if err != nil {
+		return fail(err) // header errors never pay for a transaction
+	}
+	tx, err := e.store.Begin()
+	if err != nil {
 		return fail(err)
 	}
-	var cbuf bytes.Buffer
-	var cw *cvj.Writer
-	if container == nil {
-		if cw, err = cvj.NewWriter(&cbuf, cr.FPS()); err != nil {
-			return fail(err)
-		}
+	db := e.store.DB()
+	vw := db.NewSpooledBlobWriter(tx)
+	cw, err := cvj.NewWriter(vw, cr.FPS())
+	if err != nil {
+		tx.Abort()
+		return fail(err)
 	}
 
 	// Bounded worker pool: feature extraction of already-selected key
@@ -334,14 +352,15 @@ func (e *Engine) ingestStream(name string, r io.Reader, container []byte) (*Inge
 				w.set = p.ExtractAllWithNaive(w.sig)
 				w.bucket = BucketFromPlanes(p)
 				p.Release()
-				w.scaled = nil // retain only descriptors + original JPEG
+				e.rasters.put(w.scaled) // no-op unless pool-owned
+				w.scaled = nil          // retain only descriptors + original JPEG
 			}
 		}()
 	}
 
 	var works []*kfWork
-	src := &streamFrameSource{cr: cr, cw: cw}
-	kex := keyframe.Extractor{Threshold: e.opts.KeyframeThreshold}
+	src := &streamFrameSource{cr: cr, cw: cw, pool: e.rasters}
+	kex := keyframe.Extractor{Threshold: e.opts.KeyframeThreshold, Recycle: e.rasters.put}
 	selErr := kex.ExtractStream(src, func(k *keyframe.KeyFrame) error {
 		w := &kfWork{frameIndex: k.Index, jpeg: src.jpeg, scaled: k.Image, sig: k.Signature}
 		works = append(works, w)
@@ -351,41 +370,57 @@ func (e *Engine) ingestStream(name string, r io.Reader, container []byte) (*Inge
 	close(jobs)
 	wg.Wait()
 	if selErr != nil {
+		tx.Abort()
 		return fail(selErr)
 	}
-	if container == nil {
-		if err := cw.Close(); err != nil {
-			return fail(err)
-		}
-		container = cbuf.Bytes()
+	if err := cw.Close(); err != nil {
+		tx.Abort()
+		return fail(err)
+	}
+	videoRef, err := vw.Close()
+	if err != nil {
+		tx.Abort()
+		return fail(err)
 	}
 
 	// Key-frame-only stream (the VIDEO_STORE.STREAM column), assembled
 	// from the container's original JPEG records — no decode→re-encode
-	// generation loss.
+	// generation loss — and spooled the same way.
 	kfJpegs := make([][]byte, len(works))
 	for i, w := range works {
 		kfJpegs[i] = w.jpeg
 	}
-	stream, err := cvj.EncodeRawBytes(kfJpegs, cr.FPS())
-	if err != nil {
+	sw := db.NewSpooledBlobWriter(tx)
+	if err := cvj.EncodeRaw(sw, kfJpegs, cr.FPS()); err != nil {
+		tx.Abort()
 		return fail(err)
 	}
-	return e.storeIngest(name, container, stream, cr.FramesRead(), works)
-}
-
-// storeIngest commits one ingested video — VIDEO_STORE row, KEY_FRAMES
-// rows, search-cache entries — in a single transaction.
-func (e *Engine) storeIngest(name string, container, stream []byte, numFrames int, works []*kfWork) (*IngestResult, error) {
-	tx, err := e.store.Begin()
-	if err != nil {
-		return nil, err
-	}
-	v := &catalog.Video{Name: name, Video: container, Stream: stream, DoStore: time.Unix(0, 0).UTC()}
-	videoID, err := e.store.InsertVideo(tx, v)
+	streamRef, err := sw.Close()
 	if err != nil {
 		tx.Abort()
-		return nil, err
+		return fail(err)
+	}
+
+	v := &catalog.Video{Name: name, VideoRef: videoRef, StreamRef: streamRef, DoStore: time.Unix(0, 0).UTC()}
+	res, entries, err := e.insertIngestRows(tx, name, v, cr.FramesRead(), works)
+	if err != nil {
+		tx.Abort()
+		return fail(err)
+	}
+	if err := tx.Commit(); err != nil {
+		return fail(err)
+	}
+	e.publishEntries(v.ID, name, entries)
+	return res, nil
+}
+
+// insertIngestRows writes one ingested video's VIDEO_STORE and KEY_FRAMES
+// rows inside tx and builds the matching (not yet published) cache
+// entries.
+func (e *Engine) insertIngestRows(tx *vstore.Txn, name string, v *catalog.Video, numFrames int, works []*kfWork) (*IngestResult, []*frameEntry, error) {
+	videoID, err := e.store.InsertVideo(tx, v)
+	if err != nil {
+		return nil, nil, err
 	}
 	res := &IngestResult{VideoID: videoID, NumFrames: numFrames}
 	newEntries := make([]*frameEntry, 0, len(works))
@@ -408,8 +443,7 @@ func (e *Engine) storeIngest(name string, container, stream []byte, numFrames in
 		}
 		id, err := e.store.InsertKeyFrame(tx, row)
 		if err != nil {
-			tx.Abort()
-			return nil, err
+			return nil, nil, err
 		}
 		res.KeyFrameIDs = append(res.KeyFrameIDs, id)
 		newEntries = append(newEntries, &frameEntry{
@@ -420,16 +454,37 @@ func (e *Engine) storeIngest(name string, container, stream []byte, numFrames in
 			set:      w.set,
 		})
 	}
-	if err := tx.Commit(); err != nil {
-		return nil, err
-	}
+	return res, newEntries, nil
+}
 
+// publishEntries makes a committed video's key frames scoreable.
+func (e *Engine) publishEntries(videoID int64, name string, entries []*frameEntry) {
 	e.mu.Lock()
-	for _, en := range newEntries {
+	for _, en := range entries {
 		e.putEntry(en)
 	}
 	e.vname[videoID] = name
 	e.mu.Unlock()
+}
+
+// storeIngest commits one ingested video — VIDEO_STORE row, KEY_FRAMES
+// rows, search-cache entries — in a single transaction, from fully
+// buffered container bytes (the reference path).
+func (e *Engine) storeIngest(name string, container, stream []byte, numFrames int, works []*kfWork) (*IngestResult, error) {
+	tx, err := e.store.Begin()
+	if err != nil {
+		return nil, err
+	}
+	v := &catalog.Video{Name: name, Video: container, Stream: stream, DoStore: time.Unix(0, 0).UTC()}
+	res, entries, err := e.insertIngestRows(tx, name, v, numFrames, works)
+	if err != nil {
+		tx.Abort()
+		return nil, err
+	}
+	if err := tx.Commit(); err != nil {
+		return nil, err
+	}
+	e.publishEntries(v.ID, name, entries)
 	return res, nil
 }
 

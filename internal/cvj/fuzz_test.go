@@ -1,0 +1,82 @@
+package cvj
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"cbvr/internal/imaging"
+)
+
+// fuzzSeedContainers encodes small but fully valid containers (plus
+// targeted truncations) as the fuzz corpus.
+func fuzzSeedContainers(f *testing.F) {
+	im1 := imaging.New(8, 6)
+	im1.Fill(200, 40, 40)
+	im2 := imaging.New(8, 6)
+	im2.Fill(10, 180, 90)
+	valid, err := EncodeBytes([]*imaging.Image{im1, im2}, 12, 0)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)-5]) // torn trailer
+	f.Add(valid[:9])            // torn first frame length
+	empty, err := EncodeBytes(nil, 10, 0)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(empty)
+	f.Add([]byte(Magic))
+	f.Add([]byte{})
+}
+
+// FuzzCVJReader feeds arbitrary bytes to the container reader: malformed
+// magic, headers, frame lengths, JPEG payloads, terminators and trailers
+// must all surface as errors, never as panics — this is the path untrusted
+// uploads travel in the web UI. When a container parses cleanly end to
+// end, its records must re-assemble (EncodeRaw) into a container that
+// parses to the same frame count, the round trip streamed ingest relies
+// on.
+func FuzzCVJReader(f *testing.F) {
+	fuzzSeedContainers(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cr, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var records [][]byte
+		for {
+			fr, err := cr.NextFrame()
+			if err == io.EOF {
+				// Clean end: the records must round-trip.
+				raw, err := EncodeRawBytes(records, cr.FPS())
+				if err != nil {
+					t.Fatalf("valid records failed to re-encode: %v", err)
+				}
+				cr2, err := NewReader(bytes.NewReader(raw))
+				if err != nil {
+					t.Fatalf("re-encoded container rejected: %v", err)
+				}
+				n := 0
+				for {
+					if _, err := cr2.NextFrame(); err != nil {
+						if err != io.EOF {
+							t.Fatalf("re-encoded container frame %d: %v", n, err)
+						}
+						break
+					}
+					n++
+				}
+				if n != len(records) {
+					t.Fatalf("round trip decoded %d frames, want %d", n, len(records))
+				}
+				return
+			}
+			if err != nil {
+				return // malformed input rejected cleanly
+			}
+			records = append(records, fr.JPEG)
+		}
+	})
+}

@@ -15,13 +15,32 @@ func RescaleCalls() int64 { return rescaleCalls.Load() }
 // Rescale resizes the image to w×h using nearest-neighbour interpolation,
 // the paper's InterpolationNearest. It panics if w or h is not positive.
 func (im *Image) Rescale(w, h int) *Image {
+	return im.RescaleInto(&Image{}, w, h)
+}
+
+// RescaleInto is Rescale writing into dst: dst's pixel buffer is reused
+// when it has the capacity, so a pooled destination makes steady-state
+// rescaling allocation-free (the ingest and re-index pipelines recycle
+// analysis rasters this way). Every pixel of dst is overwritten — a
+// recycled buffer cannot leak stale content. It returns dst and counts as
+// one rescale in RescaleCalls, exactly like Rescale.
+func (im *Image) RescaleInto(dst *Image, w, h int) *Image {
 	if w <= 0 || h <= 0 {
 		panic("imaging: Rescale requires positive dimensions")
 	}
 	rescaleCalls.Add(1)
-	out := New(w, h)
+	dst.W, dst.H = w, h
+	n := w * h * 3
+	if cap(dst.Pix) < n {
+		dst.Pix = make([]uint8, n)
+	} else {
+		dst.Pix = dst.Pix[:n]
+	}
 	if im.W == 0 || im.H == 0 {
-		return out
+		for i := range dst.Pix {
+			dst.Pix[i] = 0
+		}
+		return dst
 	}
 	for y := 0; y < h; y++ {
 		sy := y * im.H / h
@@ -29,12 +48,12 @@ func (im *Image) Rescale(w, h int) *Image {
 			sx := x * im.W / w
 			si := (sy*im.W + sx) * 3
 			di := (y*w + x) * 3
-			out.Pix[di] = im.Pix[si]
-			out.Pix[di+1] = im.Pix[si+1]
-			out.Pix[di+2] = im.Pix[si+2]
+			dst.Pix[di] = im.Pix[si]
+			dst.Pix[di+1] = im.Pix[si+1]
+			dst.Pix[di+2] = im.Pix[si+2]
 		}
 	}
-	return out
+	return dst
 }
 
 // RescaleBilinear resizes the image to w×h with bilinear interpolation. It

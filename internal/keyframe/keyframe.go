@@ -30,6 +30,12 @@ type Extractor struct {
 	// be considered "similar" (and thus collapsed). Values <= 0 select
 	// DefaultThreshold.
 	Threshold float64
+	// Recycle, when non-nil, is called with each frame that collapses into
+	// the current run — i.e. every frame that is NOT kept as a key frame —
+	// as soon as its fate is decided, before the next frame is read.
+	// Sources that pool per-frame rasters use it to reclaim the buffer;
+	// emitted key frames are never recycled (the consumer owns them).
+	Recycle func(*imaging.Image)
 }
 
 func (e Extractor) threshold() float64 {
@@ -111,6 +117,9 @@ func (e Extractor) ExtractStream(r FrameReader, emit func(*KeyFrame) error) erro
 			if dist <= thr {
 				// Similar to the current key frame: collapse.
 				cur.RunLength++
+				if e.Recycle != nil {
+					e.Recycle(im)
+				}
 				continue
 			}
 		}

@@ -2,6 +2,7 @@ package vstore
 
 import (
 	"fmt"
+	"io"
 )
 
 // Blob pages chain through the common header link field and store a chunk
@@ -23,64 +24,263 @@ type BlobRef struct {
 // IsZero reports whether the reference points at nothing.
 func (r BlobRef) IsZero() bool { return r.First == invalidPage && r.Len == 0 }
 
-// writeBlobChain stores data across freshly allocated blob pages and
-// returns the first page of the chain. Zero-length blobs occupy one page
-// so that the reference remains addressable.
-func (db *DB) writeBlobChain(tx *Txn, data []byte) (PageID, error) {
-	var first, prev *Page
-	remaining := data
-	for {
-		p, err := db.allocPage(tx)
-		if err != nil {
-			return invalidPage, err
+// BlobWriter streams a value into a fresh blob page chain one chunk at a
+// time, so callers never need the whole value in one []byte. Create one
+// with NewBlobWriter (ordinary transactional pages) or NewSpooledBlobWriter
+// (large streams; see that constructor), Write the bytes, then Close to
+// obtain the BlobRef to store in a row — Table.Insert and Table.Update
+// accept Value{Type: TypeBlob, Blob: ref} (see BlobRefV) and leave the
+// pre-written chain untouched.
+type BlobWriter struct {
+	db      *DB
+	tx      *Txn
+	spooled bool
+
+	first  PageID
+	cur    *Page // page currently being filled
+	curLen int   // payload bytes in cur
+	n      int64 // total bytes written
+	closed bool
+	err    error
+}
+
+// NewBlobWriter returns a chunked writer appending to a new blob chain
+// inside tx. Pages come from the ordinary transactional allocator (free
+// list first), carry full before-images and stay pinned until the
+// transaction finishes — right for catalog-sized values, but a value
+// larger than the buffer pool should use NewSpooledBlobWriter.
+func (db *DB) NewBlobWriter(tx *Txn) *BlobWriter {
+	return &BlobWriter{db: db, tx: tx}
+}
+
+// NewSpooledBlobWriter returns a chunked writer whose pages spill to the
+// data file as the buffer pool fills, so writing a multi-megabyte stream
+// holds O(cache) memory, not O(value). Spooled pages always extend the
+// file (never the free list), carry no before-images — on abort or crash
+// they become unreachable file garbage, exactly like pages allocated by
+// any aborted transaction — and are WAL-logged page by page at commit, so
+// recovery semantics match ordinary pages. Only the page being filled is
+// pinned.
+func (db *DB) NewSpooledBlobWriter(tx *Txn) *BlobWriter {
+	return &BlobWriter{db: db, tx: tx, spooled: true}
+}
+
+// Write appends p to the chain. It implements io.Writer.
+func (w *BlobWriter) Write(p []byte) (int, error) {
+	if w.err != nil {
+		return 0, w.err
+	}
+	if w.closed {
+		w.err = fmt.Errorf("vstore: blob write after Close")
+		return 0, w.err
+	}
+	written := 0
+	for len(p) > 0 {
+		if w.cur == nil || w.curLen == blobChunkMax {
+			if err := w.advance(); err != nil {
+				w.err = err
+				return written, err
+			}
 		}
-		p.SetType(pageTypeBlob)
-		chunk := len(remaining)
-		if chunk > blobChunkMax {
-			chunk = blobChunkMax
-		}
-		putU16(p.data[offBlobLen:], uint16(chunk))
-		copy(p.data[blobDataOff:], remaining[:chunk])
-		remaining = remaining[chunk:]
-		if first == nil {
-			first = p
-		}
-		if prev != nil {
-			prev.SetLink(p.id)
-		}
-		prev = p
-		if len(remaining) == 0 {
-			break
+		c := copy(w.cur.data[blobDataOff+w.curLen:blobDataOff+blobChunkMax], p)
+		w.curLen += c
+		putU16(w.cur.data[offBlobLen:], uint16(w.curLen))
+		p = p[c:]
+		written += c
+		w.n += int64(c)
+	}
+	return written, nil
+}
+
+// advance seals the current page (if any) and starts a fresh one.
+func (w *BlobWriter) advance() error {
+	p, err := w.allocNext()
+	if err != nil {
+		return err
+	}
+	p.SetType(pageTypeBlob)
+	if w.first == invalidPage {
+		w.first = p.id
+	}
+	if w.cur != nil {
+		w.cur.SetLink(p.id)
+		w.sealCur()
+	}
+	w.cur = p
+	w.curLen = 0
+	return nil
+}
+
+// allocNext hands out the chain's next page in the writer's mode.
+func (w *BlobWriter) allocNext() (*Page, error) {
+	if !w.spooled {
+		return w.db.allocPage(w.tx)
+	}
+	// Spooled: always extend the file so the free list (and its
+	// before-image discipline) is never involved, record the page for
+	// unconditional WAL logging at commit, and pin only while filling.
+	p, err := w.db.pager.allocate()
+	if err != nil {
+		return nil, err
+	}
+	// allocate wrote the zeroed image and cleared dirty; the chunk bytes
+	// about to land must survive eviction, so re-mark it.
+	p.MarkDirty()
+	w.tx.spooled = append(w.tx.spooled, p.id)
+	p.pins++
+	return p, nil
+}
+
+// sealCur releases the just-completed page. Spooled pages become evictable
+// (the pager may write them to the data file before commit; fresh-extension
+// pages are crash-benign there); transactional pages stay pinned by touch.
+func (w *BlobWriter) sealCur() {
+	if w.spooled && w.cur != nil {
+		w.cur.pins--
+	}
+}
+
+// Close finalises the chain and returns its reference. A zero-length value
+// still occupies one page so the reference remains addressable.
+func (w *BlobWriter) Close() (BlobRef, error) {
+	if w.err != nil {
+		return BlobRef{}, w.err
+	}
+	if w.closed {
+		return BlobRef{First: w.first, Len: w.n}, nil
+	}
+	if w.cur == nil {
+		if err := w.advance(); err != nil {
+			w.err = err
+			return BlobRef{}, err
 		}
 	}
-	return first.id, nil
+	w.sealCur()
+	w.closed = true
+	return BlobRef{First: w.first, Len: w.n}, nil
+}
+
+// writeBlobChain stores data across freshly allocated blob pages and
+// returns the first page of the chain, via the chunked writer.
+func (db *DB) writeBlobChain(tx *Txn, data []byte) (PageID, error) {
+	w := db.NewBlobWriter(tx)
+	if _, err := w.Write(data); err != nil {
+		return invalidPage, err
+	}
+	ref, err := w.Close()
+	if err != nil {
+		return invalidPage, err
+	}
+	return ref.First, nil
+}
+
+// BlobReader streams a blob chain's bytes without materialising them; it
+// implements io.Reader. Created by DB.NewBlobReader.
+type BlobReader struct {
+	db        *DB
+	tx        *Txn
+	noLock    bool // caller already holds the DB lock
+	cur       PageID
+	off       int   // consumed bytes of the current page's chunk
+	remaining int64 // bytes left per the reference
+	err       error
+}
+
+// NewBlobReader returns a streaming reader over the referenced chain. With
+// tx == nil each Read takes the database read lock, so a long-lived reader
+// never blocks writers between calls; a writer that frees or rewrites the
+// chain mid-read surfaces as a read error (type mismatch or truncation),
+// never as silent corruption. A zero reference reads as empty.
+func (db *DB) NewBlobReader(tx *Txn, ref BlobRef) *BlobReader {
+	return &BlobReader{db: db, tx: tx, cur: ref.First, remaining: ref.Len}
+}
+
+// Read implements io.Reader over the page chain.
+func (r *BlobReader) Read(p []byte) (int, error) {
+	if r.err != nil {
+		return 0, r.err
+	}
+	if r.remaining <= 0 {
+		return 0, io.EOF
+	}
+	if len(p) == 0 {
+		return 0, nil
+	}
+	if r.tx == nil && !r.noLock {
+		r.db.mu.RLock()
+		defer r.db.mu.RUnlock()
+	}
+	n := 0
+	for n < len(p) && r.remaining > 0 {
+		if r.cur == invalidPage {
+			r.err = fmt.Errorf("vstore: blob chain truncated with %d bytes unread", r.remaining)
+			if n > 0 {
+				return n, nil
+			}
+			return 0, r.err
+		}
+		pg, err := r.db.pager.get(r.cur)
+		if err != nil {
+			r.err = err
+			if n > 0 {
+				return n, nil
+			}
+			return 0, err
+		}
+		if pg.Type() != pageTypeBlob {
+			r.err = fmt.Errorf("vstore: page %d in blob chain has type %d", r.cur, pg.Type())
+			if n > 0 {
+				return n, nil
+			}
+			return 0, r.err
+		}
+		chunk := int(getU16(pg.data[offBlobLen:]))
+		if chunk > blobChunkMax {
+			r.err = fmt.Errorf("vstore: blob page %d chunk %d too large", r.cur, chunk)
+			if n > 0 {
+				return n, nil
+			}
+			return 0, r.err
+		}
+		if chunk == 0 {
+			// Only a zero-length blob's single page carries an empty chunk,
+			// and that is never read; mid-read it means corruption (and
+			// guards against link cycles of empty pages).
+			r.err = fmt.Errorf("vstore: blob page %d has empty chunk mid-chain", r.cur)
+			if n > 0 {
+				return n, nil
+			}
+			return 0, r.err
+		}
+		avail := chunk - r.off
+		if int64(avail) > r.remaining {
+			avail = int(r.remaining)
+		}
+		c := copy(p[n:], pg.data[blobDataOff+r.off:blobDataOff+r.off+avail])
+		n += c
+		r.off += c
+		r.remaining -= int64(c)
+		if r.off == chunk && r.remaining > 0 {
+			r.cur = pg.Link()
+			r.off = 0
+		}
+	}
+	return n, nil
 }
 
 // readBlobChain reassembles a blob of the given total length starting at
-// first.
+// first. Callers hold the appropriate DB lock.
 func (db *DB) readBlobChain(first PageID, length int64) ([]byte, error) {
-	out := make([]byte, 0, length)
-	id := first
-	for int64(len(out)) < length {
-		if id == invalidPage {
-			return nil, fmt.Errorf("vstore: blob chain truncated at %d/%d bytes", len(out), length)
-		}
-		p, err := db.pager.get(id)
-		if err != nil {
-			return nil, err
-		}
-		if p.Type() != pageTypeBlob {
-			return nil, fmt.Errorf("vstore: page %d in blob chain has type %d", id, p.Type())
-		}
-		chunk := int(getU16(p.data[offBlobLen:]))
-		if chunk > blobChunkMax {
-			return nil, fmt.Errorf("vstore: blob page %d chunk %d too large", id, chunk)
-		}
-		out = append(out, p.data[blobDataOff:blobDataOff+chunk]...)
-		id = p.Link()
+	if length < 0 {
+		return nil, fmt.Errorf("vstore: negative blob length %d", length)
 	}
-	if int64(len(out)) != length {
-		return nil, fmt.Errorf("vstore: blob chain yielded %d bytes, want %d", len(out), length)
+	out := make([]byte, length)
+	r := &BlobReader{db: db, noLock: true, cur: first, remaining: length}
+	if _, err := io.ReadFull(r, out); err != nil {
+		if r.err != nil {
+			return nil, r.err
+		}
+		return nil, fmt.Errorf("vstore: read blob chain: %w", err)
 	}
 	return out, nil
 }
@@ -92,6 +292,9 @@ func (db *DB) freeBlobChain(tx *Txn, first PageID) error {
 		p, err := db.pager.get(id)
 		if err != nil {
 			return err
+		}
+		if p.Type() != pageTypeBlob {
+			return fmt.Errorf("vstore: freeing page %d of type %d, not a blob page", id, p.Type())
 		}
 		next := p.Link() // read before freePage zeroes the page
 		if err := db.freePage(tx, p); err != nil {

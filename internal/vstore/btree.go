@@ -30,7 +30,21 @@ const (
 func putU16(b []byte, v uint16) { binary.BigEndian.PutUint16(b, v) }
 func getU16(b []byte) uint16    { return binary.BigEndian.Uint16(b) }
 
-func btNKeys(p *Page) int       { return int(getU16(p.data[offBTNKeys:])) }
+// btNKeys returns the node's key count, clamped to what its page type can
+// physically hold: a corrupt on-disk count must never push the entry
+// accessors out of the page (clamping surfaces as lookup misses or
+// downstream errors, never a panic).
+func btNKeys(p *Page) int {
+	n := int(getU16(p.data[offBTNKeys:]))
+	max := leafMaxKeys
+	if p.Type() == pageTypeInternal {
+		max = intMaxKeys
+	}
+	if n > max {
+		return max
+	}
+	return n
+}
 func btSetNKeys(p *Page, n int) { putU16(p.data[offBTNKeys:], uint16(n)) }
 
 func leafKey(p *Page, i int) uint64 {

@@ -290,7 +290,13 @@ type Txn struct {
 	db     *DB
 	id     uint64
 	before map[PageID]beforeImage
-	done   bool
+	// spooled lists pages allocated by spooled blob writers: always fresh
+	// file extensions, never touched (no before-images), evictable before
+	// commit. Commit WAL-logs them unconditionally; abort leaves them as
+	// unreachable file garbage (the same fate ordinary pages allocated by
+	// an aborted transaction meet).
+	spooled []PageID
+	done    bool
 }
 
 type beforeImage struct {
@@ -334,6 +340,26 @@ func (tx *Txn) Commit() error {
 	defer db.mu.Unlock()
 	tx.done = true
 	db.activeTx = nil
+
+	// Spooled blob pages first: they carry no before-image and may have
+	// been evicted (and thus look clean), so they are logged
+	// unconditionally, re-read from disk if needed. A spooled page the
+	// transaction later touched (e.g. freed again) is logged by the
+	// ordinary loop below instead.
+	for _, id := range tx.spooled {
+		if _, touched := tx.before[id]; touched {
+			continue
+		}
+		p, err := db.pager.get(id)
+		if err != nil {
+			return fmt.Errorf("vstore: commit spooled page: %w", err)
+		}
+		p.pins = 0 // writer pin, if an error path left one behind
+		if _, err := db.wal.appendRecord(tx.id, walKindPageImage, id, p.data); err != nil {
+			return err
+		}
+		db.stats.WALRecords++
+	}
 
 	ids := make([]PageID, 0, len(tx.before))
 	for id := range tx.before {
@@ -388,6 +414,16 @@ func (tx *Txn) Abort() {
 		copy(p.data, img.data)
 		p.dirty = img.wasDirty
 		p.pins--
+	}
+	// Spooled pages become file garbage; just release any writer pin so
+	// the buffer pool can evict them.
+	for _, id := range tx.spooled {
+		if _, touched := tx.before[id]; touched {
+			continue
+		}
+		if p := db.pager.cached(id); p != nil {
+			p.pins = 0
+		}
 	}
 	db.stats.Aborts++
 }

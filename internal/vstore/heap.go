@@ -24,7 +24,7 @@ func (t *Table) heapInsert(tx *Txn, rec []byte) (uint64, error) {
 		if err != nil {
 			return 0, err
 		}
-		if p.Type() == pageTypeHeap && p.slottedFree() >= len(rec) {
+		if p.Type() == pageTypeHeap && p.slottedSane() && p.slottedFree() >= len(rec) {
 			tx.touch(p)
 			slot, err := p.slottedInsert(rec)
 			if err == nil {
@@ -75,10 +75,10 @@ func (t *Table) heapUpdate(tx *Txn, rid uint64, rec []byte) (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
-	off, oldLen := p.slot(slot)
-	if oldLen == slotDead {
-		return 0, fmt.Errorf("vstore: update of dead slot %d on page %d", slot, pid)
+	if _, err := p.slottedGet(slot); err != nil {
+		return 0, fmt.Errorf("vstore: update: %w", err)
 	}
+	off, oldLen := p.slot(slot)
 	tx.touch(p)
 	if len(rec) <= oldLen {
 		copy(p.data[off:], rec)

@@ -112,6 +112,10 @@ const (
 // maxRecordSize is the largest record a single slotted page can hold.
 const maxRecordSize = PageSize - offSlots - slotSize
 
+// maxSlots bounds the slot directory: more entries than this cannot fit in
+// a page, so a larger on-page count is corruption.
+const maxSlots = (PageSize - offSlots) / slotSize
+
 // initSlotted formats a page as an empty slotted heap page.
 func initSlotted(p *Page) {
 	p.SetType(pageTypeHeap)
@@ -120,7 +124,17 @@ func initSlotted(p *Page) {
 	p.setFreeEnd(PageSize)
 }
 
-func (p *Page) nSlots() int        { return int(binary.BigEndian.Uint16(p.data[offNSlots:])) }
+// nSlots returns the slot-directory size, clamped to what a page can
+// physically hold so a corrupt on-disk count can never push the directory
+// accessors out of the page (fuzzed / corrupt pages must surface errors,
+// not panics).
+func (p *Page) nSlots() int {
+	n := int(binary.BigEndian.Uint16(p.data[offNSlots:]))
+	if n > maxSlots {
+		return maxSlots
+	}
+	return n
+}
 func (p *Page) setNSlots(n int)    { binary.BigEndian.PutUint16(p.data[offNSlots:], uint16(n)) }
 func (p *Page) freeStart() int     { return int(binary.BigEndian.Uint16(p.data[offFreeStart:])) }
 func (p *Page) setFreeStart(v int) { binary.BigEndian.PutUint16(p.data[offFreeStart:], uint16(v)) }
@@ -136,6 +150,14 @@ func (p *Page) setSlot(i, off, length int) {
 	base := offSlots + i*slotSize
 	binary.BigEndian.PutUint16(p.data[base:], uint16(off))
 	binary.BigEndian.PutUint16(p.data[base+2:], uint16(length))
+}
+
+// slottedSane reports whether the page's free-space bookkeeping is
+// internally consistent; insert paths fall back to a fresh page when a
+// (corrupt) tail page fails the check instead of slicing out of bounds.
+func (p *Page) slottedSane() bool {
+	fs, fe := p.freeStart(), p.freeEnd()
+	return fs >= offSlots+p.nSlots()*slotSize && fs <= fe && fe <= PageSize
 }
 
 // slottedFree reports the bytes available for one more record (accounting
@@ -186,6 +208,9 @@ func (p *Page) slottedInsert(rec []byte) (int, error) {
 }
 
 // slottedGet returns the record bytes at slot i (aliased into the page).
+// Offsets and lengths come from disk, so they are validated against the
+// page bounds before slicing — a corrupt page yields an error, not a
+// panic.
 func (p *Page) slottedGet(i int) ([]byte, error) {
 	if i < 0 || i >= p.nSlots() {
 		return nil, fmt.Errorf("vstore: slot %d out of range on page %d", i, p.id)
@@ -193,6 +218,9 @@ func (p *Page) slottedGet(i int) ([]byte, error) {
 	off, l := p.slot(i)
 	if l == slotDead {
 		return nil, fmt.Errorf("vstore: slot %d on page %d is dead", i, p.id)
+	}
+	if off < offSlots || off+l > PageSize {
+		return nil, fmt.Errorf("vstore: slot %d on page %d points outside the page (off=%d len=%d)", i, p.id, off, l)
 	}
 	return p.data[off : off+l], nil
 }

@@ -80,6 +80,17 @@ func (pg *pager) get(id PageID) (*Page, error) {
 	return p, nil
 }
 
+// cached returns the page if it is resident in the buffer pool, without
+// touching disk or the LRU order.
+func (pg *pager) cached(id PageID) *Page {
+	pg.mu.Lock()
+	defer pg.mu.Unlock()
+	if el, ok := pg.cache[id]; ok {
+		return el.Value.(*Page)
+	}
+	return nil
+}
+
 // allocate extends the file (or reuses nothing — free-list reuse is the
 // DB's job) and returns a zeroed in-cache page.
 func (pg *pager) allocate() (*Page, error) {

@@ -80,6 +80,11 @@ func BytesV(b []byte) Value { return Value{Type: TypeBytes, Bytes: b} }
 // insert/update time.
 func Blob(b []byte) Value { return Value{Type: TypeBlob, Bytes: b} }
 
+// BlobRefV builds a BLOB value from an already-written chain reference
+// (e.g. one produced by a BlobWriter); insert and update store the
+// reference as-is without copying or rewriting the chain.
+func BlobRefV(ref BlobRef) Value { return Value{Type: TypeBlob, Blob: ref} }
+
 // TimeV builds a TIME value.
 func TimeV(t time.Time) Value { return Value{Type: TypeTime, Time: t} }
 
@@ -162,6 +167,9 @@ func decodeRow(schema *Schema, rec []byte) ([]Value, error) {
 	row := make([]Value, ncols)
 	for i, col := range schema.Cols {
 		if bitmap[i/8]&(1<<(i%8)) != 0 {
+			if col.NotNull {
+				return nil, fmt.Errorf("vstore: corrupt record: NULL in NOT NULL column %s.%s", schema.Name, col.Name)
+			}
 			row[i] = NullV(col.Type)
 			continue
 		}
@@ -192,7 +200,7 @@ func decodeRow(schema *Schema, rec []byte) ([]Value, error) {
 				first := PageID(binary.BigEndian.Uint32(rec[pos:]))
 				pos += 4
 				l, n := binary.Uvarint(rec[pos:])
-				if n <= 0 {
+				if n <= 0 || l > math.MaxInt64 {
 					return nil, fmt.Errorf("vstore: bad text overflow length in %s.%s", schema.Name, col.Name)
 				}
 				pos += n
@@ -200,7 +208,9 @@ func decodeRow(schema *Schema, rec []byte) ([]Value, error) {
 				continue
 			}
 			l, n := binary.Uvarint(rec[pos:])
-			if n <= 0 || pos+n+int(l) > len(rec) {
+			// Compare in uint64 space: a corrupt huge length must not wrap
+			// negative through int conversion and slip past the check.
+			if n <= 0 || l > uint64(len(rec)-pos-n) {
 				return nil, fmt.Errorf("vstore: truncated string in %s.%s", schema.Name, col.Name)
 			}
 			pos += n
@@ -208,7 +218,7 @@ func decodeRow(schema *Schema, rec []byte) ([]Value, error) {
 			pos += int(l)
 		case TypeBytes:
 			l, n := binary.Uvarint(rec[pos:])
-			if n <= 0 || pos+n+int(l) > len(rec) {
+			if n <= 0 || l > uint64(len(rec)-pos-n) {
 				return nil, fmt.Errorf("vstore: truncated string in %s.%s", schema.Name, col.Name)
 			}
 			pos += n
@@ -223,7 +233,7 @@ func decodeRow(schema *Schema, rec []byte) ([]Value, error) {
 			first := PageID(binary.BigEndian.Uint32(rec[pos:]))
 			pos += 4
 			l, n := binary.Uvarint(rec[pos:])
-			if n <= 0 {
+			if n <= 0 || l > math.MaxInt64 {
 				return nil, fmt.Errorf("vstore: bad blob length in %s.%s", schema.Name, col.Name)
 			}
 			pos += n

@@ -36,6 +36,7 @@ func New(eng *core.Engine) *Server {
 	s.mux.HandleFunc("/download", s.handleDownload)
 	s.mux.HandleFunc("/admin/upload", s.handleAdminUpload)
 	s.mux.HandleFunc("/admin/delete", s.handleAdminDelete)
+	s.mux.HandleFunc("/admin/reindex", s.handleAdminReindex)
 	return s
 }
 
@@ -69,10 +70,12 @@ var homeTmpl = template.Must(template.Must(pageTmpl.Clone()).Parse(`{{define "bo
 <button type="submit">Search</button>
 </form>
 <h2>Video store ({{len .Videos}} videos, {{.KeyFrames}} key frames)</h2>
-<table><tr><th>V_ID</th><th>V_NAME</th><th>bytes</th><th></th></tr>
+<table><tr><th>V_ID</th><th>V_NAME</th><th>bytes</th><th></th><th></th></tr>
 {{range .Videos}}<tr><td>{{.ID}}</td><td><a href="/video?id={{.ID}}">{{.Name}}</a></td><td>{{.VideoLen}}</td>
-<td><form action="/admin/delete" method="POST" style="margin:0"><input type="hidden" name="id" value="{{.ID}}"><button>delete</button></form></td></tr>{{end}}
+<td><form action="/admin/delete" method="POST" style="margin:0"><input type="hidden" name="id" value="{{.ID}}"><button>delete</button></form></td>
+<td><form action="/admin/reindex" method="POST" style="margin:0"><input type="hidden" name="id" value="{{.ID}}"><button>reindex</button></form></td></tr>{{end}}
 </table>
+<form action="/admin/reindex" method="POST"><button>Reindex all videos</button></form>
 <h2>Admin: upload video (CVJ container)</h2>
 <form action="/admin/upload" method="POST" enctype="multipart/form-data">
 <input type="file" name="video" required> name: <input type="text" name="name">
@@ -270,6 +273,33 @@ func (s *Server) handleAdminDelete(w http.ResponseWriter, r *http.Request) {
 	}
 	if err := s.eng.DeleteVideo(id); err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	http.Redirect(w, r, "/", http.StatusSeeOther)
+}
+
+// handleAdminReindex rebuilds feature rows from the stored key-frame
+// streams: with an id form value one video, without one the whole store
+// (the administrator's "descriptors improved, refresh the index"
+// operation). The videos stay searchable throughout — each rebuild swaps
+// in atomically on commit.
+func (s *Server) handleAdminReindex(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	if idStr := r.FormValue("id"); idStr != "" {
+		id, err := strconv.ParseInt(idStr, 10, 64)
+		if err != nil || id <= 0 {
+			http.Error(w, "bad id", http.StatusBadRequest)
+			return
+		}
+		if _, err := s.eng.ReindexVideo(id); err != nil {
+			http.Error(w, "reindex failed: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+	} else if _, err := s.eng.ReindexAll(); err != nil {
+		http.Error(w, "reindex failed: "+err.Error(), http.StatusBadRequest)
 		return
 	}
 	http.Redirect(w, r, "/", http.StatusSeeOther)

@@ -307,3 +307,69 @@ func TestAdminUploadTruncatedContainerRejected(t *testing.T) {
 		}
 	}
 }
+
+// TestAdminReindexSingle drives POST /admin/reindex with an id: the rows
+// must be rebuilt in place (same IDs, parsable features) and the redirect
+// must land home.
+func TestAdminReindexSingle(t *testing.T) {
+	srv, eng, res := newTestServer(t)
+	before, err := eng.Store().KeyFramesOfVideo(nil, res.VideoID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	form := strings.NewReader(fmt.Sprintf("id=%d", res.VideoID))
+	req := httptest.NewRequest(http.MethodPost, "/admin/reindex", form)
+	req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusSeeOther {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	after, err := eng.Store().KeyFramesOfVideo(nil, res.VideoID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != len(before) {
+		t.Fatalf("%d rows after reindex, want %d", len(after), len(before))
+	}
+	for i := range after {
+		if after[i].ID != before[i].ID || after[i].SCH != before[i].SCH {
+			t.Errorf("row %d changed identity or content across reindex", i)
+		}
+	}
+}
+
+// TestAdminReindexAll covers the no-id form (whole store) and method and
+// id validation.
+func TestAdminReindexAll(t *testing.T) {
+	srv, _, _ := newTestServer(t)
+	req := httptest.NewRequest(http.MethodPost, "/admin/reindex", strings.NewReader(""))
+	req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusSeeOther {
+		t.Fatalf("reindex all: status %d: %s", rec.Code, rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/admin/reindex", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET reindex: status %d", rec.Code)
+	}
+
+	req = httptest.NewRequest(http.MethodPost, "/admin/reindex", strings.NewReader("id=nope"))
+	req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+	rec = httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("bad id: status %d", rec.Code)
+	}
+
+	req = httptest.NewRequest(http.MethodPost, "/admin/reindex", strings.NewReader("id=42"))
+	req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+	rec = httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("missing video: status %d", rec.Code)
+	}
+}
