@@ -446,6 +446,53 @@ func BenchmarkSearchSharded_Workers1(b *testing.B)   { benchSearchSharded(b, 1) 
 func BenchmarkSearchSharded_Workers4(b *testing.B)   { benchSearchSharded(b, 4) }
 func BenchmarkSearchSharded_WorkersMax(b *testing.B) { benchSearchSharded(b, 0) }
 
+// BenchmarkScanArena isolates the scan phase of the columnar pipeline:
+// the batched kernel sweep of all seven descriptor columns over every
+// live arena row of the 1k-key-frame corpus, into a preallocated buffer.
+// Run with -benchmem: the sweep itself performs zero allocations — the
+// per-query work is exactly len(kinds) kernel calls per shard over
+// contiguous memory.
+func BenchmarkScanArena(b *testing.B) {
+	c := shardedCorpus(b)
+	eng := c.sys.Engine()
+	pq := eng.PackQuery(c.qsets[0], nil)
+	n, err := eng.CacheSize()
+	if err != nil {
+		b.Fatal(err)
+	}
+	dist := make([]float64, int(features.NumKinds)*n)
+	b.ReportMetric(float64(n), "keyframes")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.ScanArenaInto(pq, dist); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScanArena_DispatchReference is the pre-arena scan shape over
+// the same candidates: per-entry interface-dispatched DistanceTo calls
+// chasing heap descriptor vectors. The gap between this and
+// BenchmarkScanArena is the memory-layout win in isolation.
+func BenchmarkScanArena_DispatchReference(b *testing.B) {
+	c := shardedCorpus(b)
+	eng := c.sys.Engine()
+	n, err := eng.CacheSize()
+	if err != nil {
+		b.Fatal(err)
+	}
+	dist := make([]float64, int(features.NumKinds)*n)
+	b.ReportMetric(float64(n), "keyframes")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.ScanDispatchReference(c.qsets[0], nil, dist); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkSearchSharded_MinMaxWorkersMax exercises the streamed min-max
 // fusion path (two-pass, no per-feature distance lists) at full
 // parallelism.

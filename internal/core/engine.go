@@ -121,6 +121,7 @@ type Engine struct {
 
 	mu     sync.RWMutex
 	shards []map[int64]*frameEntry // key-frame ID -> parsed descriptors, by id mod N
+	arenas []*shardArena           // per-shard packed descriptor columns (see arena.go)
 	index  *rangeindex.ShardedIndex
 	vname  map[int64]string // video ID -> name
 	warm   bool
@@ -137,6 +138,7 @@ type frameEntry struct {
 	frameIdx int
 	bucket   rangeindex.Range
 	set      *features.Set
+	slot     int32 // row in the owning shard's arena; set by putEntry
 }
 
 // Open opens (creating if needed) a CBVR engine at the given database
@@ -148,14 +150,17 @@ func Open(path string, opts Options) (*Engine, error) {
 	}
 	n := searchShardCount(opts)
 	shards := make([]map[int64]*frameEntry, n)
+	arenas := make([]*shardArena, n)
 	for i := range shards {
 		shards[i] = make(map[int64]*frameEntry)
+		arenas[i] = newShardArena()
 	}
 	return &Engine{
 		store:   st,
 		opts:    opts,
 		rasters: newRasterPool(),
 		shards:  shards,
+		arenas:  arenas,
 		index:   rangeindex.NewSharded(n),
 		vname:   make(map[int64]string),
 	}, nil
@@ -187,15 +192,39 @@ func searchShardCount(opts Options) int {
 	return n
 }
 
-// putEntry files an entry into its cache shard and the range index.
-// Callers must hold e.mu for writing. Re-inserting an already cached ID is
-// a no-op so warmCache never double-indexes entries added by ingest.
+// putEntry files an entry into its cache shard, the range index and the
+// shard's descriptor arena. Callers must hold e.mu for writing.
+// Re-inserting an already cached ID is a no-op so warmCache never
+// double-indexes entries added by ingest.
 func (e *Engine) putEntry(en *frameEntry) {
 	s := e.index.ShardFor(en.id)
 	if _, ok := e.shards[s][en.id]; ok {
 		return
 	}
 	e.shards[s][en.id] = en
+	e.arenas[s].insert(en)
+	e.index.Insert(en.id, en.bucket)
+}
+
+// replaceEntry swaps a rebuilt entry over the cached one with the same ID
+// (the reindex commit path): range-index postings move to the new bucket
+// and the arena row is repacked in place, reusing the old slot. A
+// previously unseen ID falls back to a plain insert. Callers must hold
+// e.mu for writing.
+func (e *Engine) replaceEntry(en *frameEntry) {
+	s := e.index.ShardFor(en.id)
+	old := e.shards[s][en.id]
+	if old == nil {
+		e.putEntry(en)
+		return
+	}
+	e.index.Remove(en.id, old.bucket)
+	en.slot = old.slot
+	old.slot = noSlot
+	e.shards[s][en.id] = en
+	ar := e.arenas[s]
+	ar.ents[en.slot] = en
+	ar.repack(en)
 	e.index.Insert(en.id, en.bucket)
 }
 
@@ -554,10 +583,11 @@ func (e *Engine) DeleteVideo(videoID int64) error {
 		return err
 	}
 	e.mu.Lock()
-	for _, sh := range e.shards {
+	for si, sh := range e.shards {
 		for id, en := range sh {
 			if en.videoID == videoID {
 				delete(sh, id)
+				e.arenas[si].remove(en)
 				e.index.Remove(id, en.bucket)
 			}
 		}
@@ -679,8 +709,32 @@ var fixedKindScale = map[features.Kind]float64{
 	features.KindNaive:       11025, // 25 × max per-point distance (441)
 }
 
+// fixedScaleDistancePacked is fixedScaleDistance with the query side
+// pre-packed and the stored side read from an arena slot — the same
+// kernels the frame scan uses, so the DTW video search and the
+// best-single-frame ablation pay no interface dispatch either. A kind
+// missing on either side is skipped, mirroring the Set-based form.
+func fixedScaleDistancePacked(pq *PackedQuery, ar *shardArena, slot int32) float64 {
+	var sum float64
+	n := 0
+	for i, kind := range pq.kinds {
+		qv := pq.vec[i]
+		if qv == nil || !ar.hasKind(kind, slot) {
+			continue
+		}
+		sum += features.PairDistance(kind, qv, ar.row(kind, slot)) / fixedKindScale[kind]
+		n++
+	}
+	if n == 0 {
+		return 1e9
+	}
+	return sum / float64(n)
+}
+
 // fixedScaleDistance fuses per-kind distances with fixed scales (equal
-// weights).
+// weights). Retained as the reference form of fixedScaleDistancePacked
+// (equivalence-tested in arena_test.go) and for callers holding plain
+// Sets.
 func fixedScaleDistance(a, b *features.Set, kinds []features.Kind) float64 {
 	var sum float64
 	n := 0

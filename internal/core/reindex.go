@@ -135,18 +135,13 @@ func (e *Engine) ReindexVideo(videoID int64) (*ReindexResult, error) {
 		return fail(errors.New("video deleted during reindex"))
 	}
 	for _, w := range works {
-		s := e.index.ShardFor(w.row.ID)
-		if old := e.shards[s][w.row.ID]; old != nil {
-			e.index.Remove(w.row.ID, old.bucket)
-		}
-		e.shards[s][w.row.ID] = &frameEntry{
+		e.replaceEntry(&frameEntry{
 			id:       w.row.ID,
 			videoID:  videoID,
 			frameIdx: w.row.FrameIndex,
 			bucket:   w.bucket,
 			set:      w.set,
-		}
-		e.index.Insert(w.row.ID, w.bucket)
+		})
 	}
 	e.mu.Unlock()
 	return &ReindexResult{VideoID: videoID, VideoName: name, KeyFrames: len(works)}, nil

@@ -1,0 +1,195 @@
+// Query-side packing and scratch for the batched arena scan, plus the
+// exported surfaces BenchmarkScanArena drives: the raw kernel sweep
+// (ScanArenaInto) and the retained interface-dispatch sweep it is
+// measured against (ScanDispatchReference).
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"cbvr/internal/features"
+)
+
+// PackedQuery carries one query descriptor set's kernel vectors, packed
+// once per search (one backing array, one subslice per requested kind).
+// vec[i] is nil when the set lacks kinds[i] — searchSet rejects that for
+// frame searches, while the fixed-scale video paths skip the kind, the
+// same way fixedScaleDistance skips nil descriptors.
+type PackedQuery struct {
+	kinds []features.Kind
+	vec   [][]float64
+}
+
+// packQuery packs the requested kinds of a query set for the kernels.
+func packQuery(qset *features.Set, kinds []features.Kind) *PackedQuery {
+	total := 0
+	for _, kind := range kinds {
+		total += features.Stride(kind)
+	}
+	buf := make([]float64, 0, total)
+	pq := &PackedQuery{kinds: kinds, vec: make([][]float64, len(kinds))}
+	for i, kind := range kinds {
+		d := qset.Get(kind)
+		if d == nil {
+			continue
+		}
+		start := len(buf)
+		buf = d.AppendTo(buf)
+		pq.vec[i] = buf[start:len(buf):len(buf)]
+	}
+	return pq
+}
+
+// PackQuery packs a query descriptor set for the batched kernels (nil
+// kinds means all seven). Exported for the scan-phase benchmarks, which
+// pack once outside the timed loop; searches pack internally.
+func (e *Engine) PackQuery(qset *features.Set, kinds []features.Kind) *PackedQuery {
+	if len(kinds) == 0 {
+		kinds = features.AllKinds()
+	}
+	return packQuery(qset, kinds)
+}
+
+// scanScratch is one shard worker's reusable scan memory: the candidate
+// gather, the kernel output column and the per-candidate distance rows.
+// Pooled so steady-state searches allocate nothing per shard; released
+// by searchSet once the ranking no longer aliases buf.
+type scanScratch struct {
+	sel   []*frameEntry
+	rows  []int32
+	buf   []float64 // candidate-major distance rows, len n*nk
+	col   []float64 // kind-major kernel output, len n
+	cands []scored
+}
+
+var scanScratchPool = sync.Pool{New: func() any { return new(scanScratch) }}
+
+// grow readies the scratch for n candidates × nk kinds, reusing backing
+// arrays across queries. buf and col grow independently: a pooled
+// scratch can see any (n, nk) sequence (per-call Kinds subsets, shards
+// of different sizes), so one capacity must never be inferred from the
+// other.
+func (s *scanScratch) grow(n, nk int) {
+	if cap(s.sel) < n {
+		s.sel = make([]*frameEntry, 0, n)
+	}
+	if cap(s.cands) < n {
+		s.cands = make([]scored, n)
+	}
+	if cap(s.rows) < n {
+		s.rows = make([]int32, 0, n)
+	}
+	s.sel = s.sel[:0]
+	s.rows = s.rows[:0]
+	s.cands = s.cands[:cap(s.cands)][:n]
+	if cap(s.buf) < n*nk {
+		s.buf = make([]float64, n*nk)
+	}
+	if cap(s.col) < n {
+		s.col = make([]float64, n)
+	}
+	s.buf = s.buf[:n*nk]
+	s.col = s.col[:n]
+}
+
+// release drops entry references over the full backing arrays (so
+// pooled scratch cannot keep deleted videos' descriptors alive past any
+// query) and returns the scratch to the pool.
+func (s *scanScratch) release() {
+	sel := s.sel[:cap(s.sel)]
+	for i := range sel {
+		sel[i] = nil
+	}
+	cands := s.cands[:cap(s.cands)]
+	for i := range cands {
+		cands[i] = scored{}
+	}
+	scanScratchPool.Put(s)
+}
+
+// ScanArenaInto is the scan phase in isolation: the batched kernel sweep
+// of every live arena row in every shard for the query's kinds, written
+// into dist (per shard, per kind, contiguous candidate runs). It returns
+// the number of candidate×kind distances produced and performs zero
+// allocations — BenchmarkScanArena measures exactly this loop. dist must
+// hold len(kinds) × CacheSize values.
+func (e *Engine) ScanArenaInto(pq *PackedQuery, dist []float64) (int, error) {
+	if err := e.warmCache(); err != nil {
+		return 0, err
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	c := 0
+	for si := range e.arenas {
+		ar := e.arenas[si]
+		rows := ar.live
+		if len(rows) == 0 {
+			continue
+		}
+		for ki, kind := range pq.kinds {
+			qv := pq.vec[ki]
+			if qv == nil {
+				return 0, fmt.Errorf("core: query lacks %v descriptor", kind)
+			}
+			if c+len(rows) > len(dist) {
+				return 0, fmt.Errorf("core: dist buffer holds %d values, need more", len(dist))
+			}
+			out := dist[c : c+len(rows)]
+			features.BatchDistance(kind, qv, ar.cols[kind], rows, out)
+			if ar.missing[kind] > 0 {
+				pres := ar.present[kind]
+				for i, s := range rows {
+					if !pres[s] {
+						out[i] = missingDistance
+					}
+				}
+			}
+			c += len(rows)
+		}
+	}
+	return c, nil
+}
+
+// ScanDispatchReference is the pre-arena scan shape retained as the
+// kernel sweep's measured baseline: every cached entry × kind through
+// the interface-dispatched DistanceTo, into the same dist layout as
+// ScanArenaInto. Benchmark surface only.
+func (e *Engine) ScanDispatchReference(qset *features.Set, kinds []features.Kind, dist []float64) (int, error) {
+	if err := e.warmCache(); err != nil {
+		return 0, err
+	}
+	if len(kinds) == 0 {
+		kinds = features.AllKinds()
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	c := 0
+	for si := range e.arenas {
+		ar := e.arenas[si]
+		for _, kind := range kinds {
+			qd := qset.Get(kind)
+			if qd == nil {
+				return 0, fmt.Errorf("core: query lacks %v descriptor", kind)
+			}
+			for _, s := range ar.live {
+				if c >= len(dist) {
+					return 0, fmt.Errorf("core: dist buffer holds %d values, need more", len(dist))
+				}
+				cd := ar.ents[s].set.Get(kind)
+				if cd == nil {
+					dist[c] = missingDistance
+					c++
+					continue
+				}
+				d, err := qd.DistanceTo(cd)
+				if err != nil {
+					return 0, err
+				}
+				dist[c] = d
+				c++
+			}
+		}
+	}
+	return c, nil
+}

@@ -20,6 +20,8 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
+	"slices"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -102,16 +104,19 @@ func (e *Engine) SearchWithSet(qset *features.Set, qbucket rangeindex.Range, opt
 }
 
 // scored pairs one candidate with its per-kind raw distances; the row
-// aliases the owning shard's flat buffer.
+// aliases the owning shard's pooled scan scratch.
 type scored struct {
 	en *frameEntry
 	d  []float64
 }
 
-// shardPart is one shard worker's scan output.
+// shardPart is one shard worker's scan output. scratch owns the memory
+// cands and their distance rows alias; searchSet releases it once the
+// final ranking has been materialised.
 type shardPart struct {
 	cands   []scored
 	scalers []similarity.MinMaxScaler // per kind; nil unless min-max fusion
+	scratch *scanScratch
 }
 
 // searchSet is the scoring half of SearchFrame: the concurrent sharded
@@ -125,28 +130,31 @@ func (e *Engine) searchSet(qset *features.Set, qbucket rangeindex.Range, opt Sea
 	defer e.mu.RUnlock()
 
 	kinds := opt.kinds()
-	qds := make([]features.Descriptor, len(kinds))
-	for ki, kind := range kinds {
-		if qds[ki] = qset.Get(kind); qds[ki] == nil {
+	for _, kind := range kinds {
+		if qset.Get(kind) == nil {
 			return nil, fmt.Errorf("core: query lacks %v descriptor", kind)
 		}
 	}
+	pq := packQuery(qset, kinds)
 
 	nShards := len(e.shards)
 	workers := e.searchWorkers(&opt)
 	needScalers := len(kinds) > 1 && opt.Fusion == FusionMinMax
 
-	// Phase 1: shard-local scan — prune, score, observe min/max.
+	// Phase 1: shard-local scan — prune, kernel-sweep the arena columns,
+	// observe min/max. The pooled scratch each shard scores into stays
+	// aliased by the candidate rows until the ranking is final.
 	parts := make([]shardPart, nShards)
-	errs := make([]error, nShards)
-	parallelFor(nShards, workers, func(si int) {
-		parts[si], errs[si] = e.scanShard(si, kinds, qds, qbucket, opt.NoPruning, needScalers)
-	})
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+	defer func() {
+		for si := range parts {
+			if parts[si].scratch != nil {
+				parts[si].scratch.release()
+			}
 		}
-	}
+	}()
+	parallelFor(nShards, workers, func(si int) {
+		parts[si] = e.scanShard(si, pq, qbucket, opt.NoPruning, needScalers)
+	})
 
 	// Flatten to one candidate view, remembering each shard's range so
 	// selection can stay shard-parallel.
@@ -236,83 +244,126 @@ func (e *Engine) searchSet(qset *features.Set, qbucket rangeindex.Range, opt Sea
 	return out, nil
 }
 
-// scanShard scores one cache shard's candidates against the query.
-// Callers must hold e.mu for reading.
-func (e *Engine) scanShard(si int, kinds []features.Kind, qds []features.Descriptor,
-	qbucket rangeindex.Range, noPruning, needScalers bool) (shardPart, error) {
-	ents := e.shards[si]
-	var sel []*frameEntry
-	if noPruning {
-		sel = make([]*frameEntry, 0, len(ents))
-		for _, en := range ents {
-			sel = append(sel, en)
-		}
-	} else {
-		ids := e.index.Shard(si).Candidates(qbucket)
-		sel = make([]*frameEntry, 0, len(ids))
-		for _, id := range ids {
-			if en := ents[id]; en != nil {
-				sel = append(sel, en)
-			}
-		}
+// scanShard scores one cache shard's candidates against the packed
+// query: candidate rows are gathered (all live arena slots, or the
+// range-pruned subset), then each requested kind's batched kernel sweeps
+// the shard's contiguous column — no interface dispatch, no
+// per-candidate allocation — into pooled scratch, which is transposed to
+// the per-candidate distance rows the fusion phase consumes. Callers
+// must hold e.mu for reading; the returned part's scratch must be
+// released once its rows are no longer referenced.
+func (e *Engine) scanShard(si int, pq *PackedQuery, qbucket rangeindex.Range, noPruning, needScalers bool) shardPart {
+	ar := e.arenas[si]
+	nk := len(pq.kinds)
+	var ids []int64
+	n := len(ar.live)
+	if !noPruning {
+		ids = e.index.Shard(si).Candidates(qbucket)
+		n = len(ids)
 	}
-	if len(sel) == 0 {
-		return shardPart{}, nil
+	if n == 0 {
+		return shardPart{}
 	}
 
-	nk := len(kinds)
-	buf := make([]float64, len(sel)*nk) // one flat buffer per shard, all kinds
-	part := shardPart{cands: make([]scored, len(sel))}
+	sc := scanScratchPool.Get().(*scanScratch)
+	sc.grow(n, nk)
+	var rows []int32
+	if noPruning {
+		rows = ar.live
+		for _, s := range rows {
+			sc.sel = append(sc.sel, ar.ents[s])
+		}
+	} else {
+		ents := e.shards[si]
+		for _, id := range ids {
+			if en := ents[id]; en != nil {
+				sc.rows = append(sc.rows, en.slot)
+				sc.sel = append(sc.sel, en)
+			}
+		}
+		rows = sc.rows
+		if len(rows) == 0 {
+			sc.release()
+			return shardPart{}
+		}
+	}
+	n = len(sc.sel)
+	buf := sc.buf[:n*nk]
+	col := sc.col[:n]
+	part := shardPart{cands: sc.cands[:n], scratch: sc}
 	if needScalers {
 		part.scalers = make([]similarity.MinMaxScaler, nk)
 		for ki := range part.scalers {
 			part.scalers[ki] = similarity.NewMinMaxScaler()
 		}
 	}
-	for i, en := range sel {
-		row := buf[i*nk : (i+1)*nk : (i+1)*nk]
-		for ki, kind := range kinds {
-			cd := en.set.Get(kind)
-			if cd == nil {
-				row[ki] = missingDistance // missing stored descriptor ranks last
-				continue
+	for ki, kind := range pq.kinds {
+		features.BatchDistance(kind, pq.vec[ki], ar.cols[kind], rows, col)
+		if ar.missing[kind] > 0 {
+			pres := ar.present[kind]
+			for i, s := range rows {
+				if !pres[s] {
+					col[i] = missingDistance // missing stored descriptor ranks last
+				}
 			}
-			d, err := qds[ki].DistanceTo(cd)
-			if err != nil {
-				return shardPart{}, err
-			}
-			row[ki] = d
 		}
 		if part.scalers != nil {
-			for ki, dv := range row {
-				part.scalers[ki].Observe(dv)
+			msc := &part.scalers[ki]
+			for _, dv := range col {
+				msc.Observe(dv)
 			}
 		}
-		part.cands[i] = scored{en: en, d: row}
+		// Transpose the kind column into the candidate-major rows the
+		// fusion and selection phases read.
+		for i, dv := range col {
+			buf[i*nk+ki] = dv
+		}
 	}
-	return part, nil
+	for i, en := range sc.sel {
+		part.cands[i] = scored{en: en, d: buf[i*nk : (i+1)*nk : (i+1)*nk]}
+	}
+	return part
 }
 
 // rrfScores reproduces similarity.RRF + Normalize over the flattened
 // candidate set. Per kind, candidates are ranked by (distance, key-frame
 // ID) — the same order the reference's stable sort yields over its
 // ID-sorted candidate list — and each contributes -1/(C+rank). The
-// per-kind sorts run in parallel; accumulation stays in kind order so the
-// floating-point sum matches the reference bit for bit.
+// per-kind sorts run in parallel over gathered distance columns (with
+// the arena scan no longer dominating, these sorts are the fusion
+// phase's hot spot — slices.SortFunc over flat keys, not reflection
+// through the candidate structs); accumulation stays in kind order so
+// the floating-point sum matches the reference bit for bit. The
+// comparator is a total order (IDs are unique), so the unstable sort is
+// deterministic.
 func rrfScores(all []scored, nk, workers int) []float64 {
 	n := len(all)
+	ids := make([]int64, n)
+	for i := range all {
+		ids[i] = all[i].en.id
+	}
 	orders := make([][]int32, nk)
 	parallelFor(nk, workers, func(ki int) {
+		ds := make([]float64, n)
+		for i := range all {
+			ds[i] = all[i].d[ki]
+		}
 		idx := make([]int32, n)
 		for i := range idx {
 			idx[i] = int32(i)
 		}
-		sort.Slice(idx, func(a, b int) bool {
-			da, db := all[idx[a]].d[ki], all[idx[b]].d[ki]
+		slices.SortFunc(idx, func(a, b int32) int {
+			da, db := ds[a], ds[b]
 			if da != db {
-				return da < db
+				if da < db {
+					return -1
+				}
+				return 1
 			}
-			return all[idx[a]].en.id < all[idx[b]].en.id
+			if ids[a] < ids[b] {
+				return -1
+			}
+			return 1
 		})
 		orders[ki] = idx
 	})
@@ -455,10 +506,18 @@ func (e *Engine) SearchVideo(queryFrames []*imaging.Image, opt SearchOptions) ([
 
 // searchVideoSets aligns pre-extracted query descriptor sequences against
 // every stored video, one DTW alignment per worker at a time, then
-// heap-selects the K closest videos.
+// heap-selects the K closest videos. The DTW cost function reads the
+// stored side straight out of the arena columns through the batch
+// kernels' pair form.
 func (e *Engine) searchVideoSets(qsets []*features.Set, opt SearchOptions) ([]VideoMatch, error) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
+
+	kinds := opt.kinds()
+	pqs := make([]*PackedQuery, len(qsets))
+	for i, q := range qsets {
+		pqs[i] = packQuery(q, kinds)
+	}
 
 	// Group stored frames by video, ordered by frame index.
 	byVideo := make(map[int64][]*frameEntry)
@@ -473,7 +532,6 @@ func (e *Engine) searchVideoSets(qsets []*features.Set, opt SearchOptions) ([]Vi
 	}
 	sort.Slice(vids, func(i, j int) bool { return vids[i] < vids[j] })
 
-	kinds := opt.kinds()
 	dists := make([]float64, len(vids))
 	// Fan out over videos, not shards, so the parallelism bound is the
 	// video count (parallelFor clamps), not the engine's shard count.
@@ -484,8 +542,13 @@ func (e *Engine) searchVideoSets(qsets []*features.Set, opt SearchOptions) ([]Vi
 	parallelFor(len(vids), workers, func(i int) {
 		ens := byVideo[vids[i]]
 		sort.Slice(ens, func(a, b int) bool { return ens[a].frameIdx < ens[b].frameIdx })
+		// Resolve each stored frame's arena once, not per DTW cell.
+		ars := make([]*shardArena, len(ens))
+		for j, en := range ens {
+			ars[j] = e.arenas[e.index.ShardFor(en.id)]
+		}
 		cost := func(qi, cj int) float64 {
-			return fixedScaleDistance(qsets[qi], ens[cj].set, kinds)
+			return fixedScaleDistancePacked(pqs[qi], ars[cj], ens[cj].slot)
 		}
 		dists[i] = similarity.DTW(len(qsets), len(ens), cost)
 	})
@@ -494,8 +557,10 @@ func (e *Engine) searchVideoSets(qsets []*features.Set, opt SearchOptions) ([]Vi
 
 // BestSingleFrameVideoSearch ranks videos by the single best frame-to-
 // frame distance instead of DP alignment (the DP ablation baseline). Each
-// shard worker keeps a shard-local per-video minimum; the minima merge
-// exactly, so results are identical at any worker count.
+// shard worker keeps a shard-local per-video minimum in a pooled slice
+// keyed by video order (not a per-call map — shard-count map allocations
+// and per-entry hashing were pure churn); the minima merge exactly, so
+// results are identical at any worker count.
 func (e *Engine) BestSingleFrameVideoSearch(qsets []*features.Set, opt SearchOptions) ([]VideoMatch, error) {
 	if err := e.warmCache(); err != nil {
 		return nil, err
@@ -503,34 +568,87 @@ func (e *Engine) BestSingleFrameVideoSearch(qsets []*features.Set, opt SearchOpt
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	kinds := opt.kinds()
-	locals := make([]map[int64]float64, len(e.shards))
+	pqs := make([]*PackedQuery, len(qsets))
+	for i, q := range qsets {
+		pqs[i] = packQuery(q, kinds)
+	}
+
+	// Deterministic video-order table shared by every shard worker: the
+	// slot index replaces the map key. +Inf marks "no frame seen".
+	vids := make([]int64, 0, len(e.vname))
+	for vid := range e.vname {
+		vids = append(vids, vid)
+	}
+	sort.Slice(vids, func(i, j int) bool { return vids[i] < vids[j] })
+	vpos := make(map[int64]int32, len(vids))
+	for i, vid := range vids {
+		vpos[vid] = int32(i)
+	}
+
+	locals := make([]*[]float64, len(e.shards))
 	parallelFor(len(e.shards), e.searchWorkers(&opt), func(si int) {
-		best := make(map[int64]float64)
-		for _, en := range e.shards[si] {
-			for _, q := range qsets {
-				d := fixedScaleDistance(q, en.set, kinds)
-				if cur, ok := best[en.videoID]; !ok || d < cur {
-					best[en.videoID] = d
+		ar := e.arenas[si]
+		if len(ar.live) == 0 {
+			return
+		}
+		bp := acquireBestDists(len(vids))
+		best := *bp
+		for _, slot := range ar.live {
+			vi, ok := vpos[ar.ents[slot].videoID]
+			if !ok {
+				continue
+			}
+			for _, pq := range pqs {
+				if d := fixedScaleDistancePacked(pq, ar, slot); d < best[vi] {
+					best[vi] = d
 				}
 			}
 		}
-		locals[si] = best
+		locals[si] = bp
 	})
-	best := make(map[int64]float64)
+	bp := acquireBestDists(len(vids))
+	best := *bp
 	for _, local := range locals {
-		for vid, d := range local {
-			if cur, ok := best[vid]; !ok || d < cur {
-				best[vid] = d
+		if local == nil {
+			continue
+		}
+		for vi, d := range *local {
+			if d < best[vi] {
+				best[vi] = d
 			}
 		}
+		bestDistPool.Put(local)
 	}
-	vids := make([]int64, 0, len(best))
-	dists := make([]float64, 0, len(best))
-	for vid, d := range best {
-		vids = append(vids, vid)
-		dists = append(dists, d)
+	outVids := make([]int64, 0, len(vids))
+	dists := make([]float64, 0, len(vids))
+	for vi, d := range best {
+		if !math.IsInf(d, 1) {
+			outVids = append(outVids, vids[vi])
+			dists = append(dists, d)
+		}
 	}
-	return e.selectVideos(vids, dists, opt.K), nil
+	bestDistPool.Put(bp)
+	return e.selectVideos(outVids, dists, opt.K), nil
+}
+
+// bestDistPool recycles the per-shard and merged best-distance slices of
+// BestSingleFrameVideoSearch across calls.
+var bestDistPool = sync.Pool{New: func() any { return new([]float64) }}
+
+// acquireBestDists returns a pooled slice of n distances, all +Inf.
+func acquireBestDists(n int) *[]float64 {
+	bp := bestDistPool.Get().(*[]float64)
+	s := *bp
+	if cap(s) < n {
+		s = make([]float64, n)
+	}
+	s = s[:n]
+	inf := math.Inf(1)
+	for i := range s {
+		s[i] = inf
+	}
+	*bp = s
+	return bp
 }
 
 // selectVideos heap-selects the k closest videos (all when k <= 0) with

@@ -123,6 +123,27 @@ func (h *ColorHistogram) DistanceTo(other Descriptor) (float64, error) {
 	return d, nil
 }
 
+// AppendTo implements Descriptor. Packed layout (stride 257): the total
+// pixel mass, then the 256 bin probabilities (bin/total, all zero for an
+// empty histogram). The probabilities are the exact divisions DistanceTo
+// performs per call, so the batched L1 kernel reproduces it bit for bit;
+// the leading mass element carries the degenerate empty-histogram rule.
+func (h *ColorHistogram) AppendTo(dst []float64) []float64 {
+	t := h.Total()
+	dst = append(dst, float64(t))
+	if t == 0 {
+		for range h.Bins {
+			dst = append(dst, 0)
+		}
+		return dst
+	}
+	ft := float64(t)
+	for _, c := range h.Bins {
+		dst = append(dst, float64(c)/ft)
+	}
+	return dst
+}
+
 // Intersection returns the histogram intersection similarity in [0,1]
 // (1 for identical distributions). Provided for the similarity package's
 // ablation comparisons.

@@ -382,6 +382,16 @@ func ParseCorrelogram(s string) (*Correlogram, error) {
 	return out, nil
 }
 
+// AppendTo implements Descriptor. Packed layout (stride 256): the cells
+// flattened colour-major, distance-minor — DistanceTo's accumulation
+// order, so the batched mean-abs-diff kernel sums in the same order.
+func (c *Correlogram) AppendTo(dst []float64) []float64 {
+	for b := 0; b < CorrelogramBins; b++ {
+		dst = append(dst, c.Cor[b][:]...)
+	}
+	return dst
+}
+
 // DistanceTo returns the mean absolute difference across all
 // (colour, distance) cells.
 func (c *Correlogram) DistanceTo(other Descriptor) (float64, error) {

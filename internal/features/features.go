@@ -81,6 +81,34 @@ type Descriptor interface {
 	// descriptor of the same kind. It returns an error on a kind
 	// mismatch.
 	DistanceTo(other Descriptor) (float64, error)
+	// AppendTo appends the descriptor's packed kernel vector — exactly
+	// Stride(Kind()) float64s — to dst and returns the extended slice.
+	// Distance-invariant normalisations (histogram mass, Tamura
+	// directionality) are baked in at pack time, so the batched kernels
+	// (see kernels.go) reproduce DistanceTo bit for bit over packed
+	// vectors.
+	AppendTo(dst []float64) []float64
+}
+
+// kernelStrides maps each kind to its packed kernel vector width. The
+// layouts are defined next to each kind's AppendTo.
+var kernelStrides = [NumKinds]int{
+	KindGLCM:        5,
+	KindGabor:       GaborVectorLen,
+	KindTamura:      TamuraVectorLen,
+	KindHistogram:   HistogramBins + 1,
+	KindCorrelogram: CorrelogramBins * CorrelogramMaxDistance,
+	KindRegions:     3,
+	KindNaive:       NaivePoints * 3,
+}
+
+// Stride returns the packed kernel vector width of a kind (the number of
+// float64s AppendTo emits and the per-row stride of an arena column).
+func Stride(kind Kind) int {
+	if kind < 0 || kind >= NumKinds {
+		panic(errUnknownKind(kind))
+	}
+	return kernelStrides[kind]
 }
 
 // Extract computes the descriptor of the given kind for a frame.

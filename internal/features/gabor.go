@@ -321,6 +321,11 @@ func ParseGabor(s string) (*Gabor, error) {
 	return out, nil
 }
 
+// AppendTo implements Descriptor. Packed layout (stride 60): Vec as is.
+func (g *Gabor) AppendTo(dst []float64) []float64 {
+	return append(dst, g.Vec[:]...)
+}
+
 // DistanceTo returns the L2 distance between the 60-element vectors.
 func (g *Gabor) DistanceTo(other Descriptor) (float64, error) {
 	o, ok := other.(*Gabor)

@@ -167,6 +167,14 @@ func ParseGLCM(s string) (*GLCM, error) {
 // (up to ~255²·p) while ASM/IDM live in [0,1] and entropy in [0, ~11].
 var glcmScale = [5]float64{1, 16384, 0.001, 1, 11}
 
+// AppendTo implements Descriptor. Packed layout (stride 5): the raw
+// vector() statistics in order. Scaling stays in the kernel — (a-b)/s is
+// not bit-equal to a/s - b/s, so the values cannot be pre-divided.
+func (g *GLCM) AppendTo(dst []float64) []float64 {
+	v := g.vector()
+	return append(dst, v[:]...)
+}
+
 // DistanceTo returns a scaled L2 distance between the five texture
 // statistics.
 func (g *GLCM) DistanceTo(other Descriptor) (float64, error) {

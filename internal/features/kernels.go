@@ -1,0 +1,185 @@
+// Batched distance kernels over packed descriptor columns.
+//
+// The search scan's cost model changed three times: PR 1 parallelised it,
+// PR 2 made extraction cheap, and what remained was memory layout — every
+// candidate×kind paid an interface-dispatched DistanceTo call chasing a
+// heap-allocated descriptor. The kernels here close that gap: descriptors
+// pack into contiguous per-kind float64 columns (Descriptor.AppendTo,
+// Stride), and each kind gets a batch kernel that computes
+// query-vs-column distances straight into a caller-owned output buffer —
+// no interface dispatch, no per-candidate allocation, branch-free inner
+// loops over contiguous memory (math.Abs compiles to a sign-bit clear).
+//
+// Every kernel is bit-identical to the corresponding DistanceTo: packing
+// hoists only the comparand-independent work (probability normalisation,
+// uint8 widening), and the kernels keep DistanceTo's operation order and
+// associativity exactly (kernels_test.go enforces this per kind,
+// including the degenerate zero-mass cases).
+package features
+
+import "math"
+
+// BatchDistance computes out[i] = the kind's DistanceTo between the
+// packed query vector q (len Stride(kind), from AppendTo) and row rows[i]
+// of the packed column col (row r occupies col[r*stride:(r+1)*stride]).
+// out must have len(rows) capacity; rows may address any subset of the
+// column in any order.
+func BatchDistance(kind Kind, q, col []float64, rows []int32, out []float64) {
+	switch kind {
+	case KindHistogram:
+		batchKernel(q, col, rows, out, histRow)
+	case KindGLCM:
+		batchKernel(q, col, rows, out, glcmRow)
+	case KindGabor:
+		BatchL2(q, col, rows, out)
+	case KindTamura:
+		batchKernel(q, col, rows, out, tamuraRow)
+	case KindCorrelogram:
+		batchKernel(q, col, rows, out, correlogramRow)
+	case KindRegions:
+		batchKernel(q, col, rows, out, regionsRow)
+	case KindNaive:
+		batchKernel(q, col, rows, out, naiveRow)
+	default:
+		panic(errUnknownKind(kind))
+	}
+}
+
+// PairDistance computes the kind's DistanceTo between two packed vectors
+// (each len Stride(kind)). It is the single-pair form of BatchDistance,
+// used by the fixed-scale fusion in DTW video search and the
+// best-single-frame ablation.
+func PairDistance(kind Kind, a, b []float64) float64 {
+	switch kind {
+	case KindHistogram:
+		return histRow(a, b)
+	case KindGLCM:
+		return glcmRow(a, b)
+	case KindGabor:
+		return l2Row(a, b)
+	case KindTamura:
+		return tamuraRow(a, b)
+	case KindCorrelogram:
+		return correlogramRow(a, b)
+	case KindRegions:
+		return regionsRow(a, b)
+	case KindNaive:
+		return naiveRow(a, b)
+	default:
+		panic(errUnknownKind(kind))
+	}
+}
+
+// batchKernel sweeps the selected column rows through a row kernel. The
+// stride is len(q); the per-row subslice is capped so the row functions'
+// reslices keep every index in bounds-checked-once territory.
+func batchKernel(q, col []float64, rows []int32, out []float64, row func(q, r []float64) float64) {
+	stride := len(q)
+	for i, s := range rows {
+		off := int(s) * stride
+		out[i] = row(q, col[off:off+stride:off+stride])
+	}
+}
+
+// BatchL1 computes out[i] = the L1 distance between q and row rows[i] of
+// col (stride len(q)). Generic building block; the histogram and
+// correlogram kernels reuse its row form with their own scaling.
+func BatchL1(q, col []float64, rows []int32, out []float64) {
+	batchKernel(q, col, rows, out, l1Row)
+}
+
+// BatchL2 computes out[i] = the L2 distance between q and row rows[i] of
+// col (stride len(q)). The Gabor kernel is exactly this at stride 60.
+func BatchL2(q, col []float64, rows []int32, out []float64) {
+	batchKernel(q, col, rows, out, l2Row)
+}
+
+// l1Row sums |q[i]-r[i]| in ascending index order. The reslice of r to
+// len(q) eliminates the bounds check on r[i] inside the loop.
+func l1Row(q, r []float64) float64 {
+	r = r[:len(q)]
+	var sum float64
+	for i, qv := range q {
+		sum += math.Abs(qv - r[i])
+	}
+	return sum
+}
+
+// l2Row accumulates squared differences in ascending index order, then
+// takes one square root.
+func l2Row(q, r []float64) float64 {
+	r = r[:len(q)]
+	var sum float64
+	for i, qv := range q {
+		d := qv - r[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum)
+}
+
+// histRow is ColorHistogram.DistanceTo over packed vectors: element 0 is
+// the histogram mass (the degenerate empty-histogram rule), elements
+// 1..256 the bin probabilities compared by L1.
+func histRow(q, r []float64) float64 {
+	if q[0] == 0 || r[0] == 0 {
+		if q[0] == r[0] {
+			return 0
+		}
+		return 2
+	}
+	return l1Row(q[1:], r[1:])
+}
+
+// glcmRow is GLCM.DistanceTo over packed vectors: per-statistic scaled
+// differences, squared and summed in vector() order.
+func glcmRow(q, r []float64) float64 {
+	var sum float64
+	for i := 0; i < len(glcmScale); i++ {
+		d := (q[i] - r[i]) / glcmScale[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum)
+}
+
+// Tamura kernel scales, mirroring Tamura.DistanceTo's constants.
+const (
+	tamuraCoarseScale   = 20000
+	tamuraContrastScale = 128
+)
+
+// tamuraRow is Tamura.DistanceTo over packed vectors: scaled coarseness
+// and contrast squared-sum plus half the L1 between the pre-normalised
+// directionality distributions.
+func tamuraRow(q, r []float64) float64 {
+	dc := (q[0] - r[0]) / tamuraCoarseScale
+	dk := (q[1] - r[1]) / tamuraContrastScale
+	sum := dc*dc + dk*dk
+	return math.Sqrt(sum) + l1Row(q[2:2+TamuraDirBins], r[2:2+TamuraDirBins])/2
+}
+
+// correlogramRow is Correlogram.DistanceTo over packed vectors: the cells
+// are flattened in DistanceTo's accumulation order, so the plain L1 sum
+// divided by the cell count reproduces the mean absolute difference.
+func correlogramRow(q, r []float64) float64 {
+	return l1Row(q, r) / (CorrelogramBins * CorrelogramMaxDistance)
+}
+
+// regionsRow is RegionStats.DistanceTo over packed vectors
+// [major, regions, holes]; the counts are exact in float64.
+func regionsRow(q, r []float64) float64 {
+	return math.Abs(q[0]-r[0]) + 0.1*math.Abs(q[1]-r[1]) + 0.05*math.Abs(q[2]-r[2])
+}
+
+// naiveRow is NaiveSignature.DistanceTo over packed vectors: per sample
+// point the Euclidean RGB distance, summed over the 25 points.
+func naiveRow(q, r []float64) float64 {
+	r = r[:len(q)]
+	var sum float64
+	for i := 0; i+2 < len(q); i += 3 {
+		d0 := q[i] - r[i]
+		d1 := q[i+1] - r[i+1]
+		d2 := q[i+2] - r[i+2]
+		sum += math.Sqrt(d0*d0 + d1*d1 + d2*d2)
+	}
+	return sum
+}

@@ -1,0 +1,150 @@
+package features
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randSet builds one descriptor of every kind with pseudo-random but
+// plausible field values (plus the degenerate variants the distance
+// functions special-case) so the kernel equivalence check covers real
+// code paths without paying for extraction.
+func randDescriptor(rng *rand.Rand, kind Kind, degenerate bool) Descriptor {
+	switch kind {
+	case KindHistogram:
+		h := &ColorHistogram{}
+		if !degenerate {
+			for i := range h.Bins {
+				h.Bins[i] = rng.Intn(900)
+			}
+		}
+		return h
+	case KindGLCM:
+		return &GLCM{
+			PixelCounter: 180000,
+			ASM:          rng.Float64(),
+			Contrast:     rng.Float64() * 20000,
+			Correlation:  rng.Float64() * 0.002,
+			IDM:          rng.Float64(),
+			Entropy:      rng.Float64() * 11,
+		}
+	case KindGabor:
+		g := &Gabor{}
+		for i := range g.Vec {
+			g.Vec[i] = rng.NormFloat64()
+		}
+		return g
+	case KindTamura:
+		t := &Tamura{Coarseness: rng.Float64() * 30000, Contrast: rng.Float64() * 256}
+		if !degenerate {
+			for i := range t.Directionality {
+				t.Directionality[i] = rng.Float64() * 1000
+			}
+		}
+		return t
+	case KindCorrelogram:
+		c := &Correlogram{}
+		for b := range c.Cor {
+			for d := range c.Cor[b] {
+				c.Cor[b][d] = rng.Float64()
+			}
+		}
+		return c
+	case KindRegions:
+		return &RegionStats{Regions: rng.Intn(300), Holes: rng.Intn(100), Major: rng.Intn(8)}
+	case KindNaive:
+		n := &NaiveSignature{}
+		for i := range n.Sig {
+			n.Sig[i] = [3]uint8{uint8(rng.Intn(256)), uint8(rng.Intn(256)), uint8(rng.Intn(256))}
+		}
+		return n
+	default:
+		panic("unknown kind")
+	}
+}
+
+// TestKernelsBitIdenticalToDistanceTo is the kernel layer's contract: for
+// every kind, PairDistance over packed vectors equals DistanceTo exactly
+// (==, not within epsilon), including the zero-mass histogram and empty
+// Tamura directionality edges.
+func TestKernelsBitIdenticalToDistanceTo(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, kind := range AllKinds() {
+		for trial := 0; trial < 50; trial++ {
+			// Degenerate on some trials, on either or both sides.
+			a := randDescriptor(rng, kind, trial%7 == 3)
+			b := randDescriptor(rng, kind, trial%5 == 2)
+			want, err := a.DistanceTo(b)
+			if err != nil {
+				t.Fatalf("%v: DistanceTo: %v", kind, err)
+			}
+			pa := a.AppendTo(nil)
+			pb := b.AppendTo(nil)
+			if len(pa) != Stride(kind) || len(pb) != Stride(kind) {
+				t.Fatalf("%v: AppendTo emitted %d/%d values, stride is %d", kind, len(pa), len(pb), Stride(kind))
+			}
+			if got := PairDistance(kind, pa, pb); got != want {
+				t.Fatalf("%v trial %d: PairDistance = %.17g, DistanceTo = %.17g", kind, trial, got, want)
+			}
+			// Symmetry of the packing: reversed operands must also agree.
+			wantRev, _ := b.DistanceTo(a)
+			if got := PairDistance(kind, pb, pa); got != wantRev {
+				t.Fatalf("%v trial %d reversed: PairDistance = %.17g, DistanceTo = %.17g", kind, trial, got, wantRev)
+			}
+		}
+	}
+}
+
+// TestBatchDistanceMatchesPairs checks the batch sweep against per-pair
+// calls over a packed column with a shuffled row subset — the exact shape
+// scanShard drives: an arbitrary row order into a flat output buffer.
+func TestBatchDistanceMatchesPairs(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n = 33
+	for _, kind := range AllKinds() {
+		stride := Stride(kind)
+		col := make([]float64, 0, n*stride)
+		packed := make([][]float64, n)
+		for i := 0; i < n; i++ {
+			d := randDescriptor(rng, kind, i == 11)
+			start := len(col)
+			col = d.AppendTo(col)
+			packed[i] = col[start:len(col):len(col)]
+		}
+		q := randDescriptor(rng, kind, false).AppendTo(nil)
+
+		rows := make([]int32, 0, n)
+		for i := 0; i < n; i++ {
+			rows = append(rows, int32(i))
+		}
+		rng.Shuffle(len(rows), func(i, j int) { rows[i], rows[j] = rows[j], rows[i] })
+		rows = rows[:n/2]
+
+		out := make([]float64, len(rows))
+		BatchDistance(kind, q, col, rows, out)
+		for i, s := range rows {
+			if want := PairDistance(kind, q, packed[s]); out[i] != want {
+				t.Fatalf("%v: batch out[%d] (row %d) = %.17g, pair = %.17g", kind, i, s, out[i], want)
+			}
+		}
+	}
+}
+
+// TestKernelsOnExtractedDescriptors runs the equivalence over descriptors
+// extracted from real rasters, so pack+kernel is validated against the
+// values the engine actually stores (not just synthetic field fills).
+func TestKernelsOnExtractedDescriptors(t *testing.T) {
+	imA := randomFrame(3, 97, 73)
+	imB := randomFrame(9, 64, 64)
+	setA, setB := ExtractAll(imA), ExtractAll(imB)
+	for _, kind := range AllKinds() {
+		da, db := setA.Get(kind), setB.Get(kind)
+		want, err := da.DistanceTo(db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := PairDistance(kind, da.AppendTo(nil), db.AppendTo(nil)); got != want {
+			t.Fatalf("%v: kernel %.17g != DistanceTo %.17g", kind, got, want)
+		}
+	}
+}

@@ -139,6 +139,16 @@ func ParseNaive(s string) (*NaiveSignature, error) {
 	return out, nil
 }
 
+// AppendTo implements Descriptor. Packed layout (stride 75): the 25
+// sample points' RGB channels widened to float64 in sample order — the
+// conversions DistanceTo performs per comparison, hoisted to pack time.
+func (n *NaiveSignature) AppendTo(dst []float64) []float64 {
+	for _, c := range n.Sig {
+		dst = append(dst, float64(c[0]), float64(c[1]), float64(c[2]))
+	}
+	return dst
+}
+
 // DistanceTo returns the sum over the 25 sample points of the Euclidean
 // RGB distance — the §4.1 key-frame criterion compares this sum against
 // the threshold 800.

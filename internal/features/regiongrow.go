@@ -147,6 +147,13 @@ func ParseRegions(s string) (*RegionStats, error) {
 	return &RegionStats{Regions: vals[0], Holes: vals[1], Major: vals[2]}, nil
 }
 
+// AppendTo implements Descriptor. Packed layout (stride 3): major,
+// regions, holes as float64s (the counts are far below 2^53, so the
+// conversions are exact and the kernel's float |Δ| equals absInt's).
+func (r *RegionStats) AppendTo(dst []float64) []float64 {
+	return append(dst, float64(r.Major), float64(r.Regions), float64(r.Holes))
+}
+
 // DistanceTo compares region structure: major-region count dominates, with
 // smaller contributions from the total region and hole counts.
 func (r *RegionStats) DistanceTo(other Descriptor) (float64, error) {

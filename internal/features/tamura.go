@@ -215,6 +215,26 @@ func ParseTamura(s string) (*Tamura, error) {
 	return t, nil
 }
 
+// AppendTo implements Descriptor. Packed layout (stride 18): coarseness,
+// contrast, then the 16 directionality bins normalised to a distribution
+// (zero when the histogram is empty) — the same per-bin divisions, in the
+// same order, DistanceTo performs on every call.
+func (t *Tamura) AppendTo(dst []float64) []float64 {
+	dst = append(dst, t.Coarseness, t.Contrast)
+	ta := 0.0
+	for i := 0; i < TamuraDirBins; i++ {
+		ta += t.Directionality[i]
+	}
+	for i := 0; i < TamuraDirBins; i++ {
+		var p float64
+		if ta > 0 {
+			p = t.Directionality[i] / ta
+		}
+		dst = append(dst, p)
+	}
+	return dst
+}
+
 // DistanceTo compares descriptors with scaled components: coarseness and
 // contrast are brought to unit-ish magnitude and the directionality
 // histograms are compared as distributions (L1).

@@ -23,19 +23,22 @@ func GrayValue(r, g, b uint8) uint8 {
 // ToGray converts the RGB raster to grayscale using the paper's band
 // combine weights (0.299, 0.587, 0.114).
 func (im *Image) ToGray() *Gray {
-	out := NewGray(im.W, im.H)
-	si := 0
-	for i := range out.Pix {
-		out.Pix[i] = GrayValue(im.Pix[si], im.Pix[si+1], im.Pix[si+2])
-		si += 3
-	}
-	return out
+	return im.ToGrayInto(NewGray(im.W, im.H))
 }
 
 // ToGrayInto converts the RGB raster to grayscale into dst, reusing dst's
 // pixel buffer when it is large enough, and returns dst resized to the
 // image's dimensions. It is the allocation-free counterpart of ToGray for
 // pooled buffers.
+//
+// This is the hottest per-frame loop after the PR 2/3 plane sharing (one
+// conversion per analysed frame, streamed ingest and re-index both pay
+// it per source frame), so the inner loop is unrolled four pixels at a
+// time over reslices whose lengths the compiler can prove, keeping the
+// twelve source reads and four stores bounds-check-free; the remainder
+// tail runs the scalar loop. Per-pixel arithmetic is GrayValue either
+// way, so the output is bit-identical to the scalar conversion
+// (grayValueScalarReference in tests).
 func (im *Image) ToGrayInto(dst *Gray) *Gray {
 	n := im.W * im.H
 	dst.W, dst.H = im.W, im.H
@@ -44,10 +47,20 @@ func (im *Image) ToGrayInto(dst *Gray) *Gray {
 	} else {
 		dst.Pix = dst.Pix[:n]
 	}
-	si := 0
-	for i := range dst.Pix {
-		dst.Pix[i] = GrayValue(im.Pix[si], im.Pix[si+1], im.Pix[si+2])
-		si += 3
+	src := im.Pix[: n*3 : n*3]
+	out := dst.Pix[:n:n]
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		s := src[i*3 : i*3+12 : i*3+12]
+		o := out[i : i+4 : i+4]
+		o[0] = GrayValue(s[0], s[1], s[2])
+		o[1] = GrayValue(s[3], s[4], s[5])
+		o[2] = GrayValue(s[6], s[7], s[8])
+		o[3] = GrayValue(s[9], s[10], s[11])
+	}
+	for ; i < n; i++ {
+		o := src[i*3 : i*3+3 : i*3+3]
+		out[i] = GrayValue(o[0], o[1], o[2])
 	}
 	return dst
 }

@@ -1,0 +1,93 @@
+package imaging
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// grayReference is the pre-unroll scalar conversion, kept as the
+// bit-identity oracle for the unrolled ToGrayInto.
+func grayReference(im *Image) *Gray {
+	out := NewGray(im.W, im.H)
+	si := 0
+	for i := range out.Pix {
+		out.Pix[i] = GrayValue(im.Pix[si], im.Pix[si+1], im.Pix[si+2])
+		si += 3
+	}
+	return out
+}
+
+// TestToGrayIntoMatchesScalar checks the unrolled conversion against the
+// scalar reference across sizes that hit every tail length (n mod 4 =
+// 0..3), including degenerate rasters.
+func TestToGrayIntoMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, dim := range [][2]int{{300, 300}, {1, 1}, {2, 1}, {3, 1}, {5, 1}, {7, 3}, {64, 64}, {97, 31}} {
+		im := New(dim[0], dim[1])
+		for i := range im.Pix {
+			im.Pix[i] = uint8(rng.Intn(256))
+		}
+		want := grayReference(im)
+		got := im.ToGrayInto(&Gray{})
+		if got.W != want.W || got.H != want.H {
+			t.Fatalf("%dx%d: got %dx%d", dim[0], dim[1], got.W, got.H)
+		}
+		for i := range want.Pix {
+			if got.Pix[i] != want.Pix[i] {
+				t.Fatalf("%dx%d: pixel %d = %d, want %d", dim[0], dim[1], i, got.Pix[i], want.Pix[i])
+			}
+		}
+		// ToGray shares the unrolled path; spot-check it too.
+		if g2 := im.ToGray(); g2.Pix[len(g2.Pix)-1] != want.Pix[len(want.Pix)-1] {
+			t.Fatalf("%dx%d: ToGray tail mismatch", dim[0], dim[1])
+		}
+	}
+}
+
+// TestToGrayIntoReusesBuffer pins the pooling contract: a large-enough
+// destination buffer is reused, a small one replaced.
+func TestToGrayIntoReusesBuffer(t *testing.T) {
+	im := New(8, 8)
+	dst := &Gray{Pix: make([]uint8, 100)}
+	orig := &dst.Pix[0]
+	im.ToGrayInto(dst)
+	if len(dst.Pix) != 64 || &dst.Pix[0] != orig {
+		t.Fatal("ToGrayInto did not reuse a large-enough buffer")
+	}
+	small := &Gray{Pix: make([]uint8, 3)}
+	im.ToGrayInto(small)
+	if len(small.Pix) != 64 {
+		t.Fatalf("ToGrayInto left len %d, want 64", len(small.Pix))
+	}
+}
+
+// BenchmarkToGrayInto measures the unrolled conversion on the 300×300
+// analysis raster (the per-frame cost ingest, re-index and query
+// extraction all pay via features.NewPlanes).
+func BenchmarkToGrayInto(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	im := New(300, 300)
+	for i := range im.Pix {
+		im.Pix[i] = uint8(rng.Intn(256))
+	}
+	dst := &Gray{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		im.ToGrayInto(dst)
+	}
+}
+
+// BenchmarkToGrayScalarReference is the pre-unroll baseline.
+func BenchmarkToGrayScalarReference(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	im := New(300, 300)
+	for i := range im.Pix {
+		im.Pix[i] = uint8(rng.Intn(256))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		grayReference(im)
+	}
+}

@@ -1,0 +1,94 @@
+package similarity
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The fusion/selection phase is what remains of query latency once the
+// arena kernels have swept the distance columns, so its primitives get
+// their own benchmarks: top-K selection, streamed min-max normalisation
+// and batch RRF over realistic candidate counts.
+
+func randDistances(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.Float64() * 3
+	}
+	return out
+}
+
+// BenchmarkTopKPush streams 1k candidates through a bounded top-10 heap
+// (one shard's share of a selection pass).
+func BenchmarkTopKPush(b *testing.B) {
+	ds := randDistances(1000, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := NewTopK(10)
+		for j, d := range ds {
+			h.Push(Ranked{ID: int64(j), Distance: d})
+		}
+	}
+}
+
+// BenchmarkTopKMerge merges 8 shard heaps of 10 into a final top-10.
+func BenchmarkTopKMerge(b *testing.B) {
+	shards := make([]*TopK, 8)
+	for s := range shards {
+		shards[s] = NewTopK(10)
+		for j, d := range randDistances(1000, int64(s)) {
+			shards[s].Push(Ranked{ID: int64(s*1000 + j), Distance: d})
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		final := NewTopK(10)
+		for _, h := range shards {
+			final.Merge(h)
+		}
+		final.Sorted()
+	}
+}
+
+// BenchmarkMinMaxScalerObserve folds 1k distances into a scaler (the
+// per-shard min-max pass of FusionMinMax).
+func BenchmarkMinMaxScalerObserve(b *testing.B) {
+	ds := randDistances(1000, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := NewMinMaxScaler()
+		for _, d := range ds {
+			m.Observe(d)
+		}
+		_ = m.Scale(ds[0])
+	}
+}
+
+// BenchmarkRRF fuses seven full distance lists of 1k candidates (the
+// reference fusion shape the sharded rrfScores reproduces).
+func BenchmarkRRF(b *testing.B) {
+	lists := make([][]float64, 7)
+	for k := range lists {
+		lists[k] = randDistances(1000, int64(10+k))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Normalize(RRF(lists, RRFConstant))
+	}
+}
+
+// BenchmarkDTW aligns a 6-frame query against a 12-frame video with a
+// trivial cost (isolating the DP itself from descriptor distances).
+func BenchmarkDTW(b *testing.B) {
+	cost := func(i, j int) float64 { return float64((i-j)*(i-j)) * 0.1 }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DTW(6, 12, cost)
+	}
+}

@@ -1,19 +1,41 @@
 package vstore
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 )
 
 // Blob pages chain through the common header link field and store a chunk
-// length at [16:18) followed by payload bytes. The chain's total length
-// lives with the reference (in the owning row or the meta page), not in
-// the chain itself.
+// length at [16:18), a CRC-32C of the chunk payload at [18:22), then the
+// payload bytes. The chain's total length lives with the reference (in
+// the owning row or the meta page), not in the chain itself.
+//
+// The checksum is written when a page is sealed (its chunk is final:
+// BlobWriter.advance / Close) and verified on every page fetch of a
+// read — blob pages hold the corpus's bulk media bytes, live longest on
+// disk, and a flipped payload bit would otherwise decode as silently
+// corrupt JPEG/container data rather than erroring.
 const (
 	offBlobLen   = hdrCommon
-	blobDataOff  = hdrCommon + 2
+	offBlobCRC   = hdrCommon + 2
+	blobDataOff  = hdrCommon + 6
 	blobChunkMax = PageSize - blobDataOff
 )
+
+// blobCRCTable is the Castagnoli polynomial (hardware-accelerated on
+// amd64/arm64).
+var blobCRCTable = crc32.MakeTable(crc32.Castagnoli)
+
+// blobPageCRC hashes a blob page's current chunk payload.
+func blobPageCRC(p *Page) uint32 {
+	chunk := int(getU16(p.data[offBlobLen:]))
+	if chunk > blobChunkMax {
+		chunk = blobChunkMax // corrupt length; the reader errors before trusting the CRC
+	}
+	return crc32.Checksum(p.data[blobDataOff:blobDataOff+chunk], blobCRCTable)
+}
 
 // BlobRef locates an out-of-row value.
 type BlobRef struct {
@@ -131,11 +153,17 @@ func (w *BlobWriter) allocNext() (*Page, error) {
 	return p, nil
 }
 
-// sealCur releases the just-completed page. Spooled pages become evictable
-// (the pager may write them to the data file before commit; fresh-extension
-// pages are crash-benign there); transactional pages stay pinned by touch.
+// sealCur finalises the just-completed page: its chunk length is now
+// final, so the payload checksum is stamped, then spooled pages become
+// evictable (the pager may write them to the data file before commit;
+// fresh-extension pages are crash-benign there); transactional pages
+// stay pinned by touch.
 func (w *BlobWriter) sealCur() {
-	if w.spooled && w.cur != nil {
+	if w.cur == nil {
+		return
+	}
+	binary.BigEndian.PutUint32(w.cur.data[offBlobCRC:], blobPageCRC(w.cur))
+	if w.spooled {
 		w.cur.pins--
 	}
 }
@@ -251,6 +279,17 @@ func (r *BlobReader) Read(p []byte) (int, error) {
 				return n, nil
 			}
 			return 0, r.err
+		}
+		if r.off == 0 {
+			// First touch of this page by this reader: verify the sealed
+			// payload checksum before handing any of its bytes out.
+			if want := binary.BigEndian.Uint32(pg.data[offBlobCRC:]); want != blobPageCRC(pg) {
+				r.err = fmt.Errorf("vstore: blob page %d checksum mismatch", r.cur)
+				if n > 0 {
+					return n, nil
+				}
+				return 0, r.err
+			}
 		}
 		avail := chunk - r.off
 		if int64(avail) > r.remaining {

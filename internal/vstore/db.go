@@ -17,8 +17,12 @@ import (
 //	[28:32) catalog blob first page
 //	[32:40) catalog blob length
 const (
-	metaMagic   = 0x56535452 // "VSTR"
-	metaVersion = 1
+	metaMagic = 0x56535452 // "VSTR"
+	// metaVersion 2: blob pages carry a CRC-32C at [18:22) and the
+	// payload moved from offset 18 to 22 (see blob.go). A version-1 file
+	// must be rejected here — its blob payloads would otherwise surface
+	// as misleading per-page checksum mismatches.
+	metaVersion = 2
 
 	offMetaMagic   = 16
 	offMetaVersion = 20

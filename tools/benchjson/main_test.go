@@ -1,0 +1,55 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: cbvr
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkSearchSharded_Workers1-8         	     770	   1389566 ns/op	  145226 B/op	      52 allocs/op
+BenchmarkScanArena-8                      	    2078	    584513 ns/op	      1000 keyframes	       0 B/op	       0 allocs/op
+BenchmarkNoProcsSuffix 	     100	     99.5 ns/op
+PASS
+ok  	cbvr	37.269s
+`
+
+func TestParse(t *testing.T) {
+	doc, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Package != "cbvr" || !strings.Contains(doc.CPU, "Xeon") {
+		t.Fatalf("header: %+v", doc)
+	}
+	if len(doc.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(doc.Benchmarks))
+	}
+	b0 := doc.Benchmarks[0]
+	if b0.Name != "SearchSharded_Workers1" || b0.Procs != 8 || b0.Iters != 770 {
+		t.Fatalf("b0 = %+v", b0)
+	}
+	if b0.Metrics["ns/op"] != 1389566 || b0.Metrics["allocs/op"] != 52 {
+		t.Fatalf("b0 metrics = %v", b0.Metrics)
+	}
+	b1 := doc.Benchmarks[1]
+	if b1.Metrics["keyframes"] != 1000 || b1.Metrics["allocs/op"] != 0 {
+		t.Fatalf("b1 metrics = %v", b1.Metrics)
+	}
+	b2 := doc.Benchmarks[2]
+	if b2.Name != "NoProcsSuffix" || b2.Procs != 0 || b2.Metrics["ns/op"] != 99.5 {
+		t.Fatalf("b2 = %+v", b2)
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	doc, err := parse(strings.NewReader("hello\nBenchmarkX not numbers here\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 0 {
+		t.Fatalf("parsed %d benchmarks from garbage", len(doc.Benchmarks))
+	}
+}
