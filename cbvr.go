@@ -29,6 +29,7 @@
 package cbvr
 
 import (
+	"context"
 	"io"
 
 	"cbvr/internal/core"
@@ -128,6 +129,14 @@ func (s *System) IngestVideoStream(name string, r io.Reader) (*IngestResult, err
 	return s.eng.IngestVideoStream(name, r)
 }
 
+// IngestVideoStreamCtx is IngestVideoStream under a context: cancellation
+// is honoured within one decode iteration, staged blob pages are discarded
+// and nothing commits. Use it to tie an ingest to a client connection or a
+// shutdown signal.
+func (s *System) IngestVideoStreamCtx(ctx context.Context, name string, r io.Reader) (*IngestResult, error) {
+	return s.eng.IngestVideoStreamCtx(ctx, name, r)
+}
+
 // IngestFrames encodes raw frames as a CVJ container and ingests it.
 func (s *System) IngestFrames(name string, frames []*Image, fps int) (*IngestResult, error) {
 	return s.eng.IngestFrames(name, frames, fps)
@@ -145,14 +154,33 @@ func (s *System) ReindexVideo(videoID int64) (*ReindexResult, error) {
 	return s.eng.ReindexVideo(videoID)
 }
 
+// ReindexVideoCtx is ReindexVideo under a context: cancellation between
+// stream records leaves the existing feature rows untouched.
+func (s *System) ReindexVideoCtx(ctx context.Context, videoID int64) (*ReindexResult, error) {
+	return s.eng.ReindexVideoCtx(ctx, videoID)
+}
+
 // ReindexAll re-indexes every stored video in V_ID order.
 func (s *System) ReindexAll() ([]*ReindexResult, error) { return s.eng.ReindexAll() }
+
+// ReindexAllCtx is ReindexAll under a context. Videos rebuilt before the
+// cancellation stay rebuilt (each commits independently); the interrupted
+// one is left on its old rows.
+func (s *System) ReindexAllCtx(ctx context.Context) ([]*ReindexResult, error) {
+	return s.eng.ReindexAllCtx(ctx)
+}
 
 // Search ranks stored key frames against a query frame. Scoring fans out
 // across the engine's cache shards; it is safe to call concurrently with
 // other searches and with ingestion.
 func (s *System) Search(query *Image, opts SearchOptions) ([]Match, error) {
 	return s.eng.SearchFrame(query, opts)
+}
+
+// SearchCtx is Search under a context: cancellation stops the shard scan
+// between shards and returns the context's error.
+func (s *System) SearchCtx(ctx context.Context, query *Image, opts SearchOptions) ([]Match, error) {
+	return s.eng.SearchFrameCtx(ctx, query, opts)
 }
 
 // SearchVideo ranks stored videos against a query clip using

@@ -1,0 +1,110 @@
+// Command cbvr-server serves the multi-client JSON/HTTP API around one
+// CBVR database. It is the programmatic counterpart of cbvr-web: the same
+// engine entry points, but JSON in and out, an ingest admission queue, and
+// graceful shutdown that drains in-flight requests.
+//
+//	cbvr-server -db cbvr.db -addr :8081
+//
+// Routes (see internal/server and DESIGN.md "Server layer"):
+//
+//	POST   /api/v1/search        multipart "image" or raw JPEG body → ranked matches
+//	GET    /api/v1/videos        store listing
+//	DELETE /api/v1/videos?id=N   delete one video
+//	POST   /api/v1/ingest        multipart "video" or raw CVJ body (?name=) → ingest
+//	POST   /api/v1/reindex[?id=N] rebuild feature rows
+//
+// On SIGINT/SIGTERM the listener stops accepting, in-flight requests get
+// -drain to finish, and past that their contexts are cancelled: staged
+// ingest work is discarded uncommitted and the store closes clean either
+// way. A second signal kills the process immediately.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cbvr"
+	"cbvr/internal/server"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		db         = flag.String("db", "cbvr.db", "database path")
+		addr       = flag.String("addr", ":8081", "listen address")
+		maxUpload  = flag.Int64("max-upload", server.DefaultMaxUploadBytes, "request body cap in bytes")
+		maxIngests = flag.Int("max-ingests", 0, "max concurrently admitted ingests (0 = 2×GOMAXPROCS)")
+		drain      = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
+	)
+	flag.Parse()
+
+	sys, err := cbvr.Open(*db, cbvr.Options{})
+	if err != nil {
+		log.Printf("cbvr-server: %v", err)
+		return 1
+	}
+	api := server.New(sys.Engine(), server.Options{
+		MaxUploadBytes:     *maxUpload,
+		MaxInFlightIngests: *maxIngests,
+	})
+	httpSrv := &http.Server{Handler: api}
+
+	// Listen explicitly so ":0" reports its chosen port (tests depend on
+	// this line to find the server).
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		sys.Close()
+		log.Printf("cbvr-server: %v", err)
+		return 1
+	}
+	log.Printf("cbvr-server listening on %s (db %s)", ln.Addr(), *db)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		sys.Close()
+		log.Printf("cbvr-server: %v", err)
+		return 1
+	case <-ctx.Done():
+	}
+	stop() // a second signal now kills the process the default way
+
+	log.Printf("cbvr-server: shutting down, draining for up to %s", *drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil && errors.Is(err, context.DeadlineExceeded) {
+		// Drain expired with requests still running: cancel their contexts
+		// (ctx-aware engine loops stop within one decode iteration and
+		// discard staged pages) and force-close the connections so blocked
+		// body reads return.
+		log.Printf("cbvr-server: drain timeout, aborting in-flight requests")
+		api.Abort()
+		httpSrv.Close()
+	}
+	// Handlers may still be unwinding their deferred cleanup (discarding
+	// staged blob pages); the store refuses to close under active staged
+	// writers, so wait for every handler to return first.
+	api.Wait()
+	if err := sys.Close(); err != nil {
+		log.Printf("cbvr-server: close: %v", err)
+		return 1
+	}
+	log.Printf("cbvr-server: clean shutdown")
+	return 0
+}

@@ -17,10 +17,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"cbvr"
 	"cbvr/internal/eval"
@@ -33,6 +36,12 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	// Interruptible commands (long ingests, reindex sweeps, searches) run
+	// under a signal context: ^C aborts the in-flight operation at its next
+	// cancellation point (nothing half-commits) and the store closes clean
+	// through the defers. A second signal kills the process.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	cmd, args := os.Args[1], os.Args[2:]
 	var err error
 	switch cmd {
@@ -41,11 +50,11 @@ func main() {
 	case "gen":
 		err = cmdGen(args)
 	case "ingest":
-		err = cmdIngest(args)
+		err = cmdIngest(ctx, args)
 	case "list":
 		err = cmdList(args)
 	case "query":
-		err = cmdQuery(args)
+		err = cmdQuery(ctx, args)
 	case "queryvid":
 		err = cmdQueryVid(args)
 	case "describe":
@@ -55,7 +64,7 @@ func main() {
 	case "delete":
 		err = cmdDelete(args)
 	case "reindex":
-		err = cmdReindex(args)
+		err = cmdReindex(ctx, args)
 	case "stats":
 		err = cmdStats(args)
 	default:
@@ -118,7 +127,7 @@ func cmdGen(args []string) error {
 	return nil
 }
 
-func cmdIngest(args []string) error {
+func cmdIngest(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("ingest", flag.ExitOnError)
 	db := fs.String("db", "", "database path")
 	file := fs.String("file", "", "CVJ container file")
@@ -141,8 +150,8 @@ func cmdIngest(args []string) error {
 	}
 	defer sys.Close()
 	// Stream the container from disk: constant-memory ingest regardless of
-	// clip length.
-	res, err := sys.IngestVideoStream(*name, f)
+	// clip length, and ^C aborts within one decode iteration.
+	res, err := sys.IngestVideoStreamCtx(ctx, *name, f)
 	if err != nil {
 		return err
 	}
@@ -186,7 +195,7 @@ func parseKinds(s string) ([]cbvr.FeatureKind, error) {
 	return out, nil
 }
 
-func cmdQuery(args []string) error {
+func cmdQuery(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("query", flag.ExitOnError)
 	db := fs.String("db", "", "database path")
 	image := fs.String("image", "", "query JPEG")
@@ -215,7 +224,7 @@ func cmdQuery(args []string) error {
 		return err
 	}
 	defer sys.Close()
-	matches, err := sys.Search(query, cbvr.SearchOptions{K: *k, Kinds: kinds, NoPruning: *noPrune})
+	matches, err := sys.SearchCtx(ctx, query, cbvr.SearchOptions{K: *k, Kinds: kinds, NoPruning: *noPrune})
 	if err != nil {
 		return err
 	}
@@ -346,7 +355,7 @@ func cmdDelete(args []string) error {
 	return nil
 }
 
-func cmdReindex(args []string) error {
+func cmdReindex(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("reindex", flag.ExitOnError)
 	db := fs.String("db", "", "database path")
 	id := fs.Int64("id", 0, "video id (0 = every stored video)")
@@ -358,15 +367,16 @@ func cmdReindex(args []string) error {
 	defer sys.Close()
 	var results []*cbvr.ReindexResult
 	if *id != 0 {
-		res, err := sys.ReindexVideo(*id)
+		res, err := sys.ReindexVideoCtx(ctx, *id)
 		if err != nil {
 			return err
 		}
 		results = []*cbvr.ReindexResult{res}
 	} else {
 		// Partial results still print: each video commits independently,
-		// so completed rebuilds are durable even if a later one fails.
-		results, err = sys.ReindexAll()
+		// so completed rebuilds are durable even if a later one fails (or
+		// the sweep is interrupted).
+		results, err = sys.ReindexAllCtx(ctx)
 	}
 	for _, r := range results {
 		fmt.Printf("reindexed %-20s video=%d keyframes=%d\n", r.VideoName, r.VideoID, r.KeyFrames)

@@ -7,10 +7,12 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 
@@ -84,6 +86,16 @@ type SearchOptions struct {
 	Workers int
 }
 
+// ErrEmptyName is returned by every ingest entry point for an empty (or
+// all-whitespace) video name. A video ingested with an empty name renders
+// as a blank, unclickable row in every listing — reject it at the source
+// so no surface can create one.
+var ErrEmptyName = errors.New("empty video name")
+
+// ErrNotFound is wrapped by operations addressing a video ID that does not
+// exist; HTTP layers map it to 404 instead of blaming the request bytes.
+var ErrNotFound = errors.New("no such video")
+
 // Match is one ranked key-frame result.
 type Match struct {
 	KeyFrameID int64
@@ -129,6 +141,12 @@ type Engine struct {
 	// reindexHook, when set by tests, fires at named points inside
 	// ReindexVideo's replacement transaction (fault injection).
 	reindexHook func(stage string)
+
+	// ingestHook, when set by tests, fires at named points of the staged
+	// ingest pipeline: "staged" after spooling completes (no locks held)
+	// and "in-commit" inside the commit critical section (writer lock
+	// held). Used to prove staging overlaps a blocked commit.
+	ingestHook func(stage, name string)
 }
 
 // frameEntry caches one key frame's parsed state for scoring.
@@ -272,7 +290,7 @@ func (e *Engine) IngestFrames(name string, frames []*imaging.Image, fps int) (*I
 // IngestVideo runs the full ingest pipeline on an in-memory CVJ container.
 // It is a thin wrapper over the streaming path (see IngestVideoStream).
 func (e *Engine) IngestVideo(name string, container []byte) (*IngestResult, error) {
-	return e.ingestStream(name, bytes.NewReader(container))
+	return e.ingestStream(context.Background(), name, bytes.NewReader(container))
 }
 
 // IngestVideoStream runs the full ingest pipeline directly from a
@@ -287,7 +305,15 @@ func (e *Engine) IngestVideo(name string, container []byte) (*IngestResult, erro
 // installed into each key frame's descriptor set instead of being
 // recomputed. See DESIGN.md ("Streamed ingest").
 func (e *Engine) IngestVideoStream(name string, r io.Reader) (*IngestResult, error) {
-	return e.ingestStream(name, r)
+	return e.ingestStream(context.Background(), name, r)
+}
+
+// IngestVideoStreamCtx is IngestVideoStream under a request context: the
+// decode loop checks cancellation between frames, so an abort takes effect
+// within one decode iteration, discards the staged spool pages and commits
+// nothing — the store is untouched, as if the request never arrived.
+func (e *Engine) IngestVideoStreamCtx(ctx context.Context, name string, r io.Reader) (*IngestResult, error) {
+	return e.ingestStream(ctx, name, r)
 }
 
 // kfWork carries one selected key frame through the extraction pool.
@@ -313,13 +339,19 @@ type kfWork struct {
 // non-key-frame rasters return to the pool via the extractor's Recycle
 // hook.
 type streamFrameSource struct {
+	ctx  context.Context
 	cr   *cvj.Reader
-	cw   *cvj.Writer // re-assembles container bytes into the spooled blob
+	cw   *cvj.Writer // re-assembles container bytes into the staged blob
 	jpeg []byte      // latest frame's original record bytes
 	pool *rasterPool
 }
 
 func (s *streamFrameSource) Next() (*imaging.Image, error) {
+	// Cancellation is checked once per decode iteration, so an aborted
+	// request stops within one frame of work.
+	if err := s.ctx.Err(); err != nil {
+		return nil, err
+	}
 	f, err := s.cr.NextFrame()
 	if err != nil {
 		return nil, err // io.EOF passes through to end selection
@@ -335,33 +367,50 @@ func (s *streamFrameSource) Next() (*imaging.Image, error) {
 }
 
 // ingestStream is the shared ingest pipeline behind IngestVideo and
-// IngestVideoStream. One transaction spans the whole ingest: container
-// records spool into VIDEO blob pages as they are decoded (bit-identical
-// re-assembly for well-formed containers), so the compressed container
-// never sits fully in memory — peak memory is O(key frames) + O(buffer
-// pool). All failure paths run on the decode loop and abort the
-// transaction, so errors are deterministic — the first failing frame in
-// stream order wins, and nothing commits until every key frame has
-// extracted cleanly. The writer lock is held for the duration (vstore's
-// single-writer model); warm searches run entirely off the in-memory cache
-// and are not blocked.
-func (e *Engine) ingestStream(name string, r io.Reader) (*IngestResult, error) {
+// IngestVideoStream(Ctx). It runs in two phases so concurrent clients
+// only serialize on a short commit section, never on the expensive work:
+//
+//  1. Stage — container records are decoded, appended to a *staged* blob
+//     chain (vstore.NewStagedBlobWriter: fresh file-extension pages
+//     written outside any transaction and outside the single-writer
+//     lock), §4.1 key-frame selection runs as frames arrive and feature
+//     extraction overlaps in a bounded worker pool. N clients decode,
+//     extract and spool fully concurrently. The compressed container
+//     never sits in memory — peak memory is O(key frames) + one page per
+//     staged chain.
+//
+//  2. Commit — a single transaction adopts the staged chains (their pages
+//     are WAL-logged at commit exactly like spooled pages), inserts the
+//     VIDEO_STORE and KEY_FRAMES rows and commits. Only this section
+//     takes the writer lock, so its duration is proportional to the row
+//     count, not the upload size. The cache entries publish atomically
+//     under the engine lock afterwards — no search observes a partially
+//     published video.
+//
+// All failure paths run on the decode loop, so errors are deterministic —
+// the first failing frame in stream order wins — and every early exit
+// (including context cancellation, checked once per decode iteration)
+// discards the staged chains: their pages become unreachable file
+// garbage and nothing commits.
+func (e *Engine) ingestStream(ctx context.Context, name string, r io.Reader) (*IngestResult, error) {
 	fail := func(err error) (*IngestResult, error) {
 		return nil, fmt.Errorf("core: ingest %q: %w", name, err)
 	}
+	if strings.TrimSpace(name) == "" {
+		return fail(ErrEmptyName)
+	}
 	cr, err := cvj.NewReader(r)
 	if err != nil {
-		return fail(err) // header errors never pay for a transaction
+		return fail(err) // header errors never pay for staging
 	}
-	tx, err := e.store.Begin()
+	db := e.store.DB()
+	vw, err := db.NewStagedBlobWriter()
 	if err != nil {
 		return fail(err)
 	}
-	db := e.store.DB()
-	vw := db.NewSpooledBlobWriter(tx)
+	defer vw.Discard() // no-op once adopted by the commit transaction
 	cw, err := cvj.NewWriter(vw, cr.FPS())
 	if err != nil {
-		tx.Abort()
 		return fail(err)
 	}
 
@@ -388,7 +437,7 @@ func (e *Engine) ingestStream(name string, r io.Reader) (*IngestResult, error) {
 	}
 
 	var works []*kfWork
-	src := &streamFrameSource{cr: cr, cw: cw, pool: e.rasters}
+	src := &streamFrameSource{ctx: ctx, cr: cr, cw: cw, pool: e.rasters}
 	kex := keyframe.Extractor{Threshold: e.opts.KeyframeThreshold, Recycle: e.rasters.put}
 	selErr := kex.ExtractStream(src, func(k *keyframe.KeyFrame) error {
 		w := &kfWork{frameIndex: k.Index, jpeg: src.jpeg, scaled: k.Image, sig: k.Signature}
@@ -399,37 +448,61 @@ func (e *Engine) ingestStream(name string, r io.Reader) (*IngestResult, error) {
 	close(jobs)
 	wg.Wait()
 	if selErr != nil {
-		tx.Abort()
 		return fail(selErr)
 	}
 	if err := cw.Close(); err != nil {
-		tx.Abort()
 		return fail(err)
 	}
 	videoRef, err := vw.Close()
 	if err != nil {
-		tx.Abort()
 		return fail(err)
 	}
 
 	// Key-frame-only stream (the VIDEO_STORE.STREAM column), assembled
 	// from the container's original JPEG records — no decode→re-encode
-	// generation loss — and spooled the same way.
+	// generation loss — and staged the same way.
 	kfJpegs := make([][]byte, len(works))
 	for i, w := range works {
 		kfJpegs[i] = w.jpeg
 	}
-	sw := db.NewSpooledBlobWriter(tx)
+	sw, err := db.NewStagedBlobWriter()
+	if err != nil {
+		return fail(err)
+	}
+	defer sw.Discard()
 	if err := cvj.EncodeRaw(sw, kfJpegs, cr.FPS()); err != nil {
-		tx.Abort()
 		return fail(err)
 	}
 	streamRef, err := sw.Close()
 	if err != nil {
+		return fail(err)
+	}
+	// Last cancellation point before the commit section: a request
+	// cancelled during staging must never reach the writer lock.
+	if err := ctx.Err(); err != nil {
+		return fail(err)
+	}
+	if e.ingestHook != nil {
+		e.ingestHook("staged", name)
+	}
+
+	// Commit section: adopt the staged chains, write the rows, commit.
+	// This is the only part of ingest that serializes between clients.
+	tx, err := e.store.Begin()
+	if err != nil {
+		return fail(err)
+	}
+	if e.ingestHook != nil {
+		e.ingestHook("in-commit", name)
+	}
+	if err := tx.AdoptStaged(vw); err != nil {
 		tx.Abort()
 		return fail(err)
 	}
-
+	if err := tx.AdoptStaged(sw); err != nil {
+		tx.Abort()
+		return fail(err)
+	}
 	v := &catalog.Video{Name: name, VideoRef: videoRef, StreamRef: streamRef, DoStore: time.Unix(0, 0).UTC()}
 	res, entries, err := e.insertIngestRows(tx, name, v, cr.FramesRead(), works)
 	if err != nil {
@@ -527,6 +600,9 @@ func (e *Engine) IngestVideoReference(name string, container []byte) (*IngestRes
 	fail := func(err error) (*IngestResult, error) {
 		return nil, fmt.Errorf("core: ingest %q: %w", name, err)
 	}
+	if strings.TrimSpace(name) == "" {
+		return fail(ErrEmptyName)
+	}
 	cr, err := cvj.NewReader(bytes.NewReader(container))
 	if err != nil {
 		return fail(err)
@@ -569,11 +645,19 @@ func (e *Engine) IngestVideoReference(name string, container []byte) (*IngestRes
 	return e.storeIngest(name, container, stream, len(frames), works)
 }
 
-// DeleteVideo removes a video and its key frames (admin use case).
+// DeleteVideo removes a video and its key frames (admin use case). A
+// missing ID fails with ErrNotFound before anything is deleted.
 func (e *Engine) DeleteVideo(videoID int64) error {
 	tx, err := e.store.Begin()
 	if err != nil {
 		return err
+	}
+	if _, ok, err := e.store.GetVideoInfo(tx, videoID); err != nil {
+		tx.Abort()
+		return err
+	} else if !ok {
+		tx.Abort()
+		return fmt.Errorf("core: delete video %d: %w", videoID, ErrNotFound)
 	}
 	if err := e.store.DeleteVideo(tx, videoID); err != nil {
 		tx.Abort()

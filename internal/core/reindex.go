@@ -8,6 +8,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -57,6 +58,14 @@ type kfReindexWork struct {
 // sees either the old rows or the new rows, never a mix — the same
 // guarantee crash recovery provides (see reindex_crash_test.go).
 func (e *Engine) ReindexVideo(videoID int64) (*ReindexResult, error) {
+	return e.ReindexVideoCtx(context.Background(), videoID)
+}
+
+// ReindexVideoCtx is ReindexVideo under a request context: cancellation is
+// checked once per decoded key-frame record during re-extraction and once
+// more before the replacement transaction begins, so an aborted request
+// leaves the old rows (and the cache) fully intact.
+func (e *Engine) ReindexVideoCtx(ctx context.Context, videoID int64) (*ReindexResult, error) {
 	fail := func(err error) (*ReindexResult, error) {
 		return nil, fmt.Errorf("core: reindex video %d: %w", videoID, err)
 	}
@@ -70,7 +79,7 @@ func (e *Engine) ReindexVideo(videoID int64) (*ReindexResult, error) {
 		return fail(err)
 	}
 	if !ok {
-		return fail(errors.New("no such video"))
+		return fail(ErrNotFound)
 	}
 	rows, err := e.store.KeyFramesOfVideo(nil, videoID)
 	if err != nil {
@@ -80,8 +89,13 @@ func (e *Engine) ReindexVideo(videoID int64) (*ReindexResult, error) {
 	// Re-extract from the streamed key-frame records. Record i is key
 	// frame i: the STREAM column is assembled in frame order at ingest,
 	// and KeyFramesOfVideo returns rows in the same order.
-	works, err := e.reextractStream(e.store.DB().NewBlobReader(nil, streamRef), rows)
+	works, err := e.reextractStream(ctx, e.store.DB().NewBlobReader(nil, streamRef), rows)
 	if err != nil {
+		return fail(err)
+	}
+	// Last cancellation point: a cancelled request must never take the
+	// writer lock or replace any rows.
+	if err := ctx.Err(); err != nil {
 		return fail(err)
 	}
 
@@ -151,7 +165,7 @@ func (e *Engine) ReindexVideo(videoID int64) (*ReindexResult, error) {
 // descriptor sets in the bounded worker pool, pairing record i with
 // rows[i]. It validates that the stream and the rows agree on the key
 // frame count.
-func (e *Engine) reextractStream(r io.Reader, rows []*catalog.KeyFrame) ([]*kfReindexWork, error) {
+func (e *Engine) reextractStream(ctx context.Context, r io.Reader, rows []*catalog.KeyFrame) ([]*kfReindexWork, error) {
 	cr, err := cvj.NewReader(r)
 	if err != nil {
 		return nil, fmt.Errorf("key-frame stream: %w", err)
@@ -176,6 +190,10 @@ func (e *Engine) reextractStream(r io.Reader, rows []*catalog.KeyFrame) ([]*kfRe
 	var works []*kfReindexWork
 	var decodeErr error
 	for {
+		if err := ctx.Err(); err != nil {
+			decodeErr = err
+			break
+		}
 		f, err := cr.NextFrame()
 		if err == io.EOF {
 			break
@@ -213,13 +231,19 @@ func (e *Engine) reextractStream(r io.Reader, rows []*catalog.KeyFrame) ([]*kfRe
 // error; completed videos keep their new rows (each video commits
 // independently).
 func (e *Engine) ReindexAll() ([]*ReindexResult, error) {
+	return e.ReindexAllCtx(context.Background())
+}
+
+// ReindexAllCtx is ReindexAll under a request context; cancellation stops
+// between (and inside) per-video rebuilds, keeping already-committed videos.
+func (e *Engine) ReindexAllCtx(ctx context.Context) ([]*ReindexResult, error) {
 	vids, err := e.store.ListVideos(nil)
 	if err != nil {
 		return nil, fmt.Errorf("core: reindex all: %w", err)
 	}
 	out := make([]*ReindexResult, 0, len(vids))
 	for _, v := range vids {
-		res, err := e.ReindexVideo(v.ID)
+		res, err := e.ReindexVideoCtx(ctx, v.ID)
 		if err != nil {
 			return out, err
 		}

@@ -18,6 +18,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -88,19 +89,30 @@ func parallelFor(n, workers int, fn func(i int)) {
 // query's descriptors, prune candidates through the sharded range index,
 // score per feature in parallel, fuse and select the top K.
 func (e *Engine) SearchFrame(query *imaging.Image, opt SearchOptions) ([]Match, error) {
+	return e.SearchFrameCtx(context.Background(), query, opt)
+}
+
+// SearchFrameCtx is SearchFrame under a request context: cancellation is
+// checked before query extraction and between shard scans, so an abandoned
+// request stops scoring within one shard's worth of work and returns the
+// context's error instead of a partial ranking.
+func (e *Engine) SearchFrameCtx(ctx context.Context, query *imaging.Image, opt SearchOptions) ([]Match, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := e.warmCache(); err != nil {
 		return nil, err
 	}
 	planes := features.NewPlanes(query)
 	qset := planes.ExtractAll()
 	qbucket := BucketFromPlanes(planes)
-	return e.searchSet(qset, qbucket, opt)
+	return e.searchSet(ctx, qset, qbucket, opt)
 }
 
 // SearchWithSet runs the frame search with pre-extracted query descriptors
 // (evaluation harness; avoids re-extracting per feature configuration).
 func (e *Engine) SearchWithSet(qset *features.Set, qbucket rangeindex.Range, opt SearchOptions) ([]Match, error) {
-	return e.searchSet(qset, qbucket, opt)
+	return e.searchSet(context.Background(), qset, qbucket, opt)
 }
 
 // scored pairs one candidate with its per-kind raw distances; the row
@@ -122,7 +134,7 @@ type shardPart struct {
 // searchSet is the scoring half of SearchFrame: the concurrent sharded
 // pipeline. It is deterministic — identical rankings and distances at any
 // worker count, matching searchSetReference.
-func (e *Engine) searchSet(qset *features.Set, qbucket rangeindex.Range, opt SearchOptions) ([]Match, error) {
+func (e *Engine) searchSet(ctx context.Context, qset *features.Set, qbucket rangeindex.Range, opt SearchOptions) ([]Match, error) {
 	if err := e.warmCache(); err != nil {
 		return nil, err
 	}
@@ -152,9 +164,23 @@ func (e *Engine) searchSet(qset *features.Set, qbucket rangeindex.Range, opt Sea
 			}
 		}
 	}()
+	// Cancellation is checked per shard: an abandoned request skips the
+	// remaining shard scans and returns the context's error, never a
+	// partial ranking.
+	var cancelled atomic.Bool
 	parallelFor(nShards, workers, func(si int) {
+		if cancelled.Load() {
+			return
+		}
+		if ctx.Err() != nil {
+			cancelled.Store(true)
+			return
+		}
 		parts[si] = e.scanShard(si, pq, qbucket, opt.NoPruning, needScalers)
 	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	// Flatten to one candidate view, remembering each shard's range so
 	// selection can stay shard-parallel.

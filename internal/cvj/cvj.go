@@ -44,8 +44,30 @@ const MaxFPS = 65535
 // headers when decoding untrusted bytes.
 const maxFrameSize = 64 << 20
 
+// ErrFormat is matched (errors.Is) by every error the Reader produces for
+// a malformed or truncated container: bad magic, unsupported version,
+// corrupt record lengths, trailer mismatches, undecodable frame JPEGs and
+// streams that end mid-record. It lets serving layers classify "the bytes
+// the client sent are not a valid container" (HTTP 400) apart from
+// storage and I/O faults (HTTP 500) without string matching.
+var ErrFormat = errors.New("cvj: invalid container")
+
+// formatError tags a reader-side error as a container-format problem while
+// preserving its wrapped cause (io.ErrUnexpectedEOF stays matchable).
+type formatError struct{ err error }
+
+func (e *formatError) Error() string        { return e.err.Error() }
+func (e *formatError) Unwrap() error        { return e.err }
+func (e *formatError) Is(target error) bool { return target == ErrFormat }
+
+// invalidf builds a format-classified error; %w works as in fmt.Errorf.
+func invalidf(format string, args ...any) error {
+	return &formatError{fmt.Errorf(format, args...)}
+}
+
 // ErrBadMagic is returned when a stream does not start with the CVJ magic.
-var ErrBadMagic = errors.New("cvj: bad magic")
+// It matches ErrFormat.
+var ErrBadMagic error = &formatError{errors.New("cvj: bad magic")}
 
 // Video is a fully decoded clip.
 type Video struct {
@@ -224,17 +246,17 @@ func NewReader(r io.Reader) (*Reader, error) {
 	br := bufio.NewReader(r)
 	var magic [4]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
-		return nil, fmt.Errorf("cvj: read magic: %w", err)
+		return nil, invalidf("cvj: read magic: %w", truncated(err))
 	}
 	if string(magic[:]) != Magic {
 		return nil, ErrBadMagic
 	}
 	var hdr [4]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
-		return nil, fmt.Errorf("cvj: read header: %w", truncated(err))
+		return nil, invalidf("cvj: read header: %w", truncated(err))
 	}
 	if v := binary.BigEndian.Uint16(hdr[0:2]); v != Version {
-		return nil, fmt.Errorf("cvj: unsupported version %d", v)
+		return nil, invalidf("cvj: unsupported version %d", v)
 	}
 	return &Reader{br: br, fps: int(binary.BigEndian.Uint16(hdr[2:4]))}, nil
 }
@@ -287,31 +309,31 @@ func (r *Reader) NextFrame() (*Frame, error) {
 	}
 	var lenb [4]byte
 	if _, err := io.ReadFull(r.br, lenb[:]); err != nil {
-		return nil, fmt.Errorf("cvj: read frame length: %w", truncated(err))
+		return nil, invalidf("cvj: read frame length: %w", truncated(err))
 	}
 	n := binary.BigEndian.Uint32(lenb[:])
 	if n == 0 {
 		// Terminator: validate trailer.
 		var cnt [4]byte
 		if _, err := io.ReadFull(r.br, cnt[:]); err != nil {
-			return nil, fmt.Errorf("cvj: read trailer: %w", truncated(err))
+			return nil, invalidf("cvj: read trailer: %w", truncated(err))
 		}
 		if got := binary.BigEndian.Uint32(cnt[:]); int(got) != r.count {
-			return nil, fmt.Errorf("cvj: trailer count %d != frames read %d", got, r.count)
+			return nil, invalidf("cvj: trailer count %d != frames read %d", got, r.count)
 		}
 		r.done = true
 		return nil, io.EOF
 	}
 	if n > maxFrameSize {
-		return nil, fmt.Errorf("cvj: frame size %d exceeds limit", n)
+		return nil, invalidf("cvj: frame size %d exceeds limit", n)
 	}
 	jp := make([]byte, n)
 	if _, err := io.ReadFull(r.br, jp); err != nil {
-		return nil, fmt.Errorf("cvj: read frame %d: %w", r.count, truncated(err))
+		return nil, invalidf("cvj: read frame %d: %w", r.count, truncated(err))
 	}
 	im, err := imaging.DecodeJPEG(bytes.NewReader(jp))
 	if err != nil {
-		return nil, fmt.Errorf("cvj: frame %d: %w", r.count, err)
+		return nil, invalidf("cvj: frame %d: %w", r.count, err)
 	}
 	f := &Frame{Index: r.count, JPEG: jp, Image: im}
 	r.count++

@@ -1,0 +1,80 @@
+// Package httperr maps engine errors onto HTTP status codes, shared by the
+// JSON API (internal/server) and the HTML UI (internal/webui) so both
+// surfaces classify failures identically: the client's fault (4xx) is told
+// apart from the server's (5xx) by inspecting the error chain, never by
+// string matching.
+package httperr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"cbvr/internal/core"
+	"cbvr/internal/cvj"
+)
+
+// StatusOf classifies err:
+//
+//   - *http.MaxBytesError → 413 (the request body hit the server's size
+//     cap; checked first because the truncation it causes also looks like
+//     a malformed container further down the chain)
+//   - core.ErrEmptyName → 400
+//   - core.ErrNotFound → 404
+//   - context cancellation / deadline → 503 (the request was abandoned or
+//     the server is shutting down; nothing was committed)
+//   - cvj.ErrFormat or io.ErrUnexpectedEOF → 400 (the uploaded bytes are
+//     not a valid container, or were cut off mid-stream)
+//   - anything else → 500 (storage or internal fault; not the client)
+//
+// A nil error is 200.
+func StatusOf(err error) int {
+	var mbe *http.MaxBytesError
+	switch {
+	case err == nil:
+		return http.StatusOK
+	case errors.As(err, &mbe):
+		return http.StatusRequestEntityTooLarge
+	case errors.Is(err, core.ErrEmptyName):
+		return http.StatusBadRequest
+	case errors.Is(err, core.ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, cvj.ErrFormat), errors.Is(err, io.ErrUnexpectedEOF):
+		return http.StatusBadRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// StatusOfStored classifies errors from operations over already-stored
+// data (reindex, delete): no request bytes are involved, so a container
+// format error means the STORE is corrupt — the server's fault (500),
+// never the client's (400). Only addressing (404) and abandonment (503)
+// remain client-visible classes.
+func StatusOfStored(err error) int {
+	switch {
+	case err == nil:
+		return http.StatusOK
+	case errors.Is(err, core.ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// Message renders err for the response body. The 413 case names the limit
+// so clients learn the cap without reading server config; other statuses
+// pass the error text through.
+func Message(err error) string {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return fmt.Sprintf("request body exceeds the %d-byte upload limit", mbe.Limit)
+	}
+	return err.Error()
+}

@@ -1,0 +1,387 @@
+// Package server exposes the CBVR engine to multiple concurrent clients
+// over a JSON/HTTP API. It is the programmatic counterpart of the HTML UI
+// (internal/webui): both sit on the same context-aware engine entry points
+// and the same error classification (internal/httperr).
+//
+// Concurrency model: uploads run the engine's two-phase staged ingest —
+// decode, key-frame selection, feature extraction and blob staging proceed
+// with no store-wide lock, so N clients make progress simultaneously and
+// serialize only on the short row-commit section. An admission queue
+// bounds the number of in-flight ingests (excess uploads get 429 +
+// Retry-After instead of piling decoded frames into memory). Every handler
+// threads its request context into the engine, so a dropped connection or
+// a server shutdown aborts the work within one decode iteration and
+// discards any staged pages.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"mime"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"cbvr/internal/core"
+	"cbvr/internal/httperr"
+	"cbvr/internal/imaging"
+)
+
+// Options tunes the API server.
+type Options struct {
+	// MaxUploadBytes caps request bodies (containers and query frames);
+	// <= 0 selects 64 MiB. Oversized bodies fail with 413 naming the cap.
+	MaxUploadBytes int64
+	// MaxInFlightIngests bounds concurrently admitted uploads; excess
+	// requests are turned away immediately with 429 + Retry-After rather
+	// than queued (the client can pace itself; the server must not buffer
+	// unbounded decode work). <= 0 selects 2×GOMAXPROCS, the point past
+	// which extra decodes only contend for cores.
+	MaxInFlightIngests int
+}
+
+// DefaultMaxUploadBytes is the body cap when Options leaves it zero.
+const DefaultMaxUploadBytes = 64 << 20
+
+// Server is the JSON API handler set. Create one with New.
+type Server struct {
+	eng       *core.Engine
+	mux       *http.ServeMux
+	opts      Options
+	ingestSem chan struct{}
+
+	// baseCtx is cancelled by Abort: every in-flight request's context is
+	// derived from it, so a forced shutdown stops ctx-aware engine work
+	// (staged pages are discarded, nothing commits).
+	baseCtx context.Context
+	abort   context.CancelFunc
+
+	// wg counts in-flight requests; Wait blocks until each handler has
+	// returned (and with it released any staged blob pages), which must
+	// happen before the store can close.
+	wg sync.WaitGroup
+
+	// admitHook, when set by tests, fires after an upload wins an
+	// admission slot (deterministic queue-full setups).
+	admitHook func(name string)
+}
+
+// New builds the API route table around an engine.
+func New(eng *core.Engine, opts Options) *Server {
+	if opts.MaxUploadBytes <= 0 {
+		opts.MaxUploadBytes = DefaultMaxUploadBytes
+	}
+	if opts.MaxInFlightIngests <= 0 {
+		opts.MaxInFlightIngests = 2 * runtime.GOMAXPROCS(0)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		eng:       eng,
+		mux:       http.NewServeMux(),
+		opts:      opts,
+		ingestSem: make(chan struct{}, opts.MaxInFlightIngests),
+		baseCtx:   ctx,
+		abort:     cancel,
+	}
+	s.mux.HandleFunc("/api/v1/search", s.handleSearch)
+	s.mux.HandleFunc("/api/v1/videos", s.handleVideos)
+	s.mux.HandleFunc("/api/v1/ingest", s.handleIngest)
+	s.mux.HandleFunc("/api/v1/reindex", s.handleReindex)
+	return s
+}
+
+// ServeHTTP implements http.Handler. Each request runs under a context
+// that dies with either the client connection or Abort, whichever first.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.wg.Add(1)
+	defer s.wg.Done()
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	stop := context.AfterFunc(s.baseCtx, cancel)
+	defer stop()
+	s.mux.ServeHTTP(w, r.WithContext(ctx))
+}
+
+// Abort cancels every in-flight request's context. The drain path calls it
+// when graceful shutdown times out: ctx-aware engine loops stop within one
+// decode iteration, staged uploads are discarded uncommitted, and handlers
+// return 503.
+func (s *Server) Abort() { s.abort() }
+
+// Wait blocks until every in-flight request handler has returned. Call it
+// after http.Server.Shutdown/Close and before closing the engine: a
+// handler that is still unwinding may hold staged blob pages, and the
+// store refuses to close under active staged writers.
+func (s *Server) Wait() { s.wg.Wait() }
+
+// writeJSON emits one JSON response body.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// writeErr classifies err through the shared table and emits it as JSON.
+func writeErr(w http.ResponseWriter, err error) {
+	writeJSON(w, httperr.StatusOf(err), map[string]string{"error": httperr.Message(err)})
+}
+
+// writeStoredErr classifies errors from operations over stored data
+// (reindex, delete), where a format error means store corruption, not a
+// bad request.
+func writeStoredErr(w http.ResponseWriter, err error) {
+	writeJSON(w, httperr.StatusOfStored(err), map[string]string{"error": httperr.Message(err)})
+}
+
+// methodErr rejects a request with 405 and the allowed verbs.
+func methodErr(w http.ResponseWriter, allowed string) {
+	w.Header().Set("Allow", allowed)
+	writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "method not allowed; use " + allowed})
+}
+
+// videoJSON is one /api/v1/videos listing row.
+type videoJSON struct {
+	ID       int64     `json:"id"`
+	Name     string    `json:"name"`
+	VideoLen int64     `json:"video_len"`
+	DoStore  time.Time `json:"do_store"`
+}
+
+// ingestJSON is the /api/v1/ingest success body.
+type ingestJSON struct {
+	VideoID     int64   `json:"video_id"`
+	NumFrames   int     `json:"num_frames"`
+	KeyFrameIDs []int64 `json:"key_frame_ids"`
+}
+
+// matchJSON is one /api/v1/search result row.
+type matchJSON struct {
+	KeyFrameID int64   `json:"key_frame_id"`
+	VideoID    int64   `json:"video_id"`
+	VideoName  string  `json:"video_name"`
+	FrameIndex int     `json:"frame_index"`
+	Distance   float64 `json:"distance"`
+}
+
+// reindexJSON is one rebuilt video in the /api/v1/reindex response.
+type reindexJSON struct {
+	VideoID   int64  `json:"video_id"`
+	VideoName string `json:"video_name"`
+	KeyFrames int    `json:"key_frames"`
+}
+
+// handleSearch ranks stored key frames against a query frame. The frame
+// arrives either as multipart field "image" or as a raw JPEG body; "k"
+// (query or form value) bounds the result count.
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		methodErr(w, http.MethodPost)
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxUploadBytes)
+	var frameSrc io.Reader = r.Body
+	if isMultipart(r) {
+		file, _, err := r.FormFile("image")
+		if err != nil {
+			writeErr(w, fmt.Errorf("missing \"image\" upload: %w", err))
+			return
+		}
+		defer file.Close()
+		frameSrc = file
+	}
+	query, err := imaging.DecodeJPEG(frameSrc)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "query frame is not a decodable JPEG: " + err.Error()})
+		return
+	}
+	kStr := r.URL.Query().Get("k")
+	if kStr == "" && r.MultipartForm != nil {
+		kStr = r.FormValue("k") // populated by the FormFile parse above
+	}
+	k := 12
+	if v, err := strconv.Atoi(kStr); err == nil && v > 0 && v <= 1000 {
+		k = v
+	}
+	matches, err := s.eng.SearchFrameCtx(r.Context(), query, core.SearchOptions{K: k})
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	out := make([]matchJSON, len(matches))
+	for i, m := range matches {
+		out[i] = matchJSON{
+			KeyFrameID: m.KeyFrameID,
+			VideoID:    m.VideoID,
+			VideoName:  m.VideoName,
+			FrameIndex: m.FrameIndex,
+			Distance:   m.Distance,
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"matches": out})
+}
+
+// handleVideos lists the store (GET) or deletes one video (DELETE ?id=N).
+func (s *Server) handleVideos(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		vids, err := s.eng.Store().ListVideos(nil)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		nk, err := s.eng.Store().CountKeyFrames(nil)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		out := make([]videoJSON, len(vids))
+		for i, v := range vids {
+			out[i] = videoJSON{ID: v.ID, Name: v.Name, VideoLen: v.VideoLen, DoStore: v.DoStore}
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"videos": out, "key_frames": nk})
+	case http.MethodDelete:
+		id, err := strconv.ParseInt(r.URL.Query().Get("id"), 10, 64)
+		if err != nil || id <= 0 {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "missing or invalid \"id\" query parameter"})
+			return
+		}
+		if err := s.eng.DeleteVideo(id); err != nil {
+			writeStoredErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"deleted": id})
+	default:
+		methodErr(w, "GET, DELETE")
+	}
+}
+
+// handleIngest admits one upload into the staged ingest pipeline. The
+// container arrives either as multipart ("name" field before a "video"
+// file part, both streamed — the body is never buffered whole) or as a raw
+// CVJ body with ?name=. Over-admission returns 429 with Retry-After; the
+// client owns its backoff.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		methodErr(w, http.MethodPost)
+		return
+	}
+	select {
+	case s.ingestSem <- struct{}{}:
+		defer func() { <-s.ingestSem }()
+		if s.admitHook != nil {
+			s.admitHook(r.URL.Query().Get("name"))
+		}
+	default:
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, map[string]string{
+			"error": fmt.Sprintf("ingest queue full (%d in flight); retry shortly", cap(s.ingestSem)),
+		})
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxUploadBytes)
+
+	name := r.URL.Query().Get("name")
+	var container io.Reader
+	if isMultipart(r) {
+		mr, err := r.MultipartReader()
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "malformed multipart body: " + err.Error()})
+			return
+		}
+		// Walk parts in wire order so the container part streams straight
+		// into ingest without spooling the upload to disk or memory.
+		for container == nil {
+			part, err := mr.NextPart()
+			if err == io.EOF {
+				writeJSON(w, http.StatusBadRequest, map[string]string{"error": "missing \"video\" upload part"})
+				return
+			}
+			if err != nil {
+				writeErr(w, err)
+				return
+			}
+			switch part.FormName() {
+			case "name":
+				b, err := io.ReadAll(io.LimitReader(part, 4096))
+				if err != nil {
+					writeErr(w, err)
+					return
+				}
+				if name == "" {
+					name = string(b)
+				}
+			case "video":
+				if name == "" {
+					name = part.FileName()
+				}
+				container = part
+			}
+		}
+	} else {
+		container = r.Body
+	}
+	res, err := s.eng.IngestVideoStreamCtx(r.Context(), name, container)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ingestJSON{VideoID: res.VideoID, NumFrames: res.NumFrames, KeyFrameIDs: res.KeyFrameIDs})
+}
+
+// handleReindex rebuilds feature rows from stored key-frame streams: one
+// video with ?id= (or form id), the whole store without.
+func (s *Server) handleReindex(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		methodErr(w, http.MethodPost)
+		return
+	}
+	var results []*core.ReindexResult
+	if idStr := queryOrForm(r, "id"); idStr != "" {
+		id, err := strconv.ParseInt(idStr, 10, 64)
+		if err != nil || id <= 0 {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "invalid \"id\" parameter"})
+			return
+		}
+		res, err := s.eng.ReindexVideoCtx(r.Context(), id)
+		if err != nil {
+			writeStoredErr(w, err)
+			return
+		}
+		results = []*core.ReindexResult{res}
+	} else {
+		var err error
+		results, err = s.eng.ReindexAllCtx(r.Context())
+		if err != nil {
+			writeStoredErr(w, err)
+			return
+		}
+	}
+	out := make([]reindexJSON, len(results))
+	for i, res := range results {
+		out[i] = reindexJSON{VideoID: res.VideoID, VideoName: res.VideoName, KeyFrames: res.KeyFrames}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"reindexed": out})
+}
+
+// isMultipart reports whether the request body is multipart/form-data.
+func isMultipart(r *http.Request) bool {
+	ct, _, err := mime.ParseMediaType(r.Header.Get("Content-Type"))
+	return err == nil && strings.HasPrefix(ct, "multipart/")
+}
+
+// queryOrForm reads a parameter from the query string first (form parsing
+// would consume a streaming body).
+func queryOrForm(r *http.Request, key string) string {
+	if v := r.URL.Query().Get(key); v != "" {
+		return v
+	}
+	if isMultipart(r) {
+		return "" // never drain a streaming multipart body for a form value
+	}
+	return r.PostFormValue(key)
+}

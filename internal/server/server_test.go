@@ -1,0 +1,446 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"mime/multipart"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"cbvr/internal/core"
+	"cbvr/internal/cvj"
+	"cbvr/internal/features"
+	"cbvr/internal/synthvid"
+)
+
+func openTestEngine(t *testing.T) *core.Engine {
+	t.Helper()
+	eng, err := core.Open(filepath.Join(t.TempDir(), "api.db"), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eng.Close() })
+	return eng
+}
+
+// testContainer encodes a deterministic synthetic clip as CVJ bytes.
+func testContainer(t *testing.T, cat synthvid.Category, seed int64, frames int) ([]byte, *synthvid.Video) {
+	t.Helper()
+	v := synthvid.Generate(cat, synthvid.Config{
+		Width: 96, Height: 72, Frames: frames, Shots: 3, Seed: seed,
+	})
+	raw, err := cvj.EncodeBytes(v.Frames, v.FPS, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw, v
+}
+
+func queryJPEG(t *testing.T, v *synthvid.Video) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := v.Frames[0].EncodeJPEG(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// doJSON performs a request and decodes the JSON response body.
+func doJSON(t *testing.T, method, url string, body io.Reader, out any) (*http.Response, string) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			t.Fatalf("%s %s: bad JSON %q: %v", method, url, raw, err)
+		}
+	}
+	return resp, string(raw)
+}
+
+type ingestResp struct {
+	VideoID     int64   `json:"video_id"`
+	NumFrames   int     `json:"num_frames"`
+	KeyFrameIDs []int64 `json:"key_frame_ids"`
+}
+
+type searchResp struct {
+	Matches []struct {
+		KeyFrameID int64   `json:"key_frame_id"`
+		VideoID    int64   `json:"video_id"`
+		VideoName  string  `json:"video_name"`
+		FrameIndex int     `json:"frame_index"`
+		Distance   float64 `json:"distance"`
+	} `json:"matches"`
+}
+
+type videosResp struct {
+	Videos []struct {
+		ID   int64  `json:"id"`
+		Name string `json:"name"`
+	} `json:"videos"`
+	KeyFrames int `json:"key_frames"`
+}
+
+// TestServerConcurrentStress is the multi-client exercise the server layer
+// exists for: four simultaneous uploads, four searching clients and one
+// delete, all against one engine under -race. Every commit must land whole
+// (row count == reported key-frame IDs), no search may observe a partially
+// published video, and the post-storm API ranking must be bit-identical to
+// the engine's retained reference search.
+func TestServerConcurrentStress(t *testing.T) {
+	eng := openTestEngine(t)
+	ts := httptest.NewServer(New(eng, Options{MaxInFlightIngests: 8}))
+	defer ts.Close()
+
+	// Two resident videos: search targets and a delete victim.
+	seedA, _ := testContainer(t, synthvid.Cartoon, 100, 16)
+	seedB, _ := testContainer(t, synthvid.Sports, 101, 16)
+	var resA, resB ingestResp
+	if resp, body := doJSON(t, "POST", ts.URL+"/api/v1/ingest?name=residentA", bytes.NewReader(seedA), &resA); resp.StatusCode != 200 {
+		t.Fatalf("seed ingest A: %d %s", resp.StatusCode, body)
+	}
+	if resp, body := doJSON(t, "POST", ts.URL+"/api/v1/ingest?name=residentB", bytes.NewReader(seedB), &resB); resp.StatusCode != 200 {
+		t.Fatalf("seed ingest B: %d %s", resp.StatusCode, body)
+	}
+
+	_, qv := testContainer(t, synthvid.Cartoon, 100, 16)
+	qjpeg := queryJPEG(t, qv)
+
+	const ingesters = 4
+	var wg sync.WaitGroup
+	ingestResults := make([]ingestResp, ingesters)
+	ingestErrs := make([]string, ingesters)
+	for g := 0; g < ingesters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			raw, _ := testContainer(t, synthvid.Category(g%3), int64(200+g), 16)
+			url := fmt.Sprintf("%s/api/v1/ingest?name=storm%02d", ts.URL, g)
+			resp, body := doJSON(t, "POST", url, bytes.NewReader(raw), &ingestResults[g])
+			if resp.StatusCode != 200 {
+				ingestErrs[g] = fmt.Sprintf("status %d: %s", resp.StatusCode, body)
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				var sr searchResp
+				resp, body := doJSON(t, "POST", ts.URL+"/api/v1/search?k=50", bytes.NewReader(qjpeg), &sr)
+				if resp.StatusCode != 200 {
+					t.Errorf("search during storm: %d %s", resp.StatusCode, body)
+					return
+				}
+				// Partial publication would surface as a video id with no
+				// name (publishEntries installs both under one lock).
+				for _, m := range sr.Matches {
+					if m.VideoName == "" {
+						t.Errorf("match with empty video name: %+v", m)
+					}
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp, body := doJSON(t, "DELETE", fmt.Sprintf("%s/api/v1/videos?id=%d", ts.URL, resB.VideoID), nil, nil)
+		if resp.StatusCode != 200 {
+			t.Errorf("delete during storm: %d %s", resp.StatusCode, body)
+		}
+	}()
+	wg.Wait()
+	for g, e := range ingestErrs {
+		if e != "" {
+			t.Fatalf("storm ingest %d: %s", g, e)
+		}
+	}
+
+	// Every commit landed whole: stored rows match the reported IDs.
+	var vl videosResp
+	if resp, body := doJSON(t, "GET", ts.URL+"/api/v1/videos", nil, &vl); resp.StatusCode != 200 {
+		t.Fatalf("list: %d %s", resp.StatusCode, body)
+	}
+	if len(vl.Videos) != 1+ingesters { // residentA + 4 storm videos; residentB deleted
+		t.Fatalf("got %d videos, want %d", len(vl.Videos), 1+ingesters)
+	}
+	for g, res := range ingestResults {
+		rows, err := eng.Store().KeyFramesOfVideo(nil, res.VideoID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) != len(res.KeyFrameIDs) {
+			t.Fatalf("storm video %d: %d stored rows, response reported %d", g, len(rows), len(res.KeyFrameIDs))
+		}
+	}
+
+	// Post-storm ranking through the API must be bit-identical to the
+	// engine's retained single-goroutine reference search.
+	var sr searchResp
+	if resp, body := doJSON(t, "POST", ts.URL+"/api/v1/search?k=50", bytes.NewReader(qjpeg), &sr); resp.StatusCode != 200 {
+		t.Fatalf("final search: %d %s", resp.StatusCode, body)
+	}
+	query, err := cvj.DecodeBytes(seedA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	planes := features.NewPlanes(query.Frames[0])
+	want, err := eng.SearchWithSetReference(planes.ExtractAll(), core.BucketFromPlanes(planes), core.SearchOptions{K: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Matches) != len(want) {
+		t.Fatalf("API returned %d matches, reference %d", len(sr.Matches), len(want))
+	}
+	for i, m := range sr.Matches {
+		w := want[i]
+		if m.KeyFrameID != w.KeyFrameID || m.VideoID != w.VideoID || m.Distance != w.Distance || m.FrameIndex != w.FrameIndex || m.VideoName != w.VideoName {
+			t.Fatalf("rank %d: API %+v != reference %+v", i, m, w)
+		}
+	}
+}
+
+// TestIngestAdmissionQueue wedges the single admission slot with an upload
+// whose body stalls, then verifies the next upload is turned away with 429
+// and a Retry-After header — and that the slot frees once the first upload
+// completes.
+func TestIngestAdmissionQueue(t *testing.T) {
+	eng := openTestEngine(t)
+	srv := New(eng, Options{MaxInFlightIngests: 1})
+	admitted := make(chan string, 4)
+	srv.admitHook = func(name string) { admitted <- name }
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	raw, _ := testContainer(t, synthvid.Cartoon, 300, 8)
+	pr, pw := io.Pipe()
+	done := make(chan string, 1)
+	go func() {
+		var ir ingestResp
+		resp, body := doJSON(t, "POST", ts.URL+"/api/v1/ingest?name=slow", pr, &ir)
+		if resp.StatusCode != 200 {
+			done <- fmt.Sprintf("slow ingest: %d %s", resp.StatusCode, body)
+			return
+		}
+		done <- ""
+	}()
+	if got := <-admitted; got != "slow" {
+		t.Fatalf("admitted %q, want slow", got)
+	}
+	// The slot is provably held; feed half the container so the holder
+	// sits mid-decode while the next client knocks.
+	if _, err := pw.Write(raw[:len(raw)/2]); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, body := doJSON(t, "POST", ts.URL+"/api/v1/ingest?name=rejected", bytes.NewReader(raw), nil)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second ingest while queue full: %d %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After header")
+	}
+
+	// Release the slot and verify admission recovers.
+	if _, err := pw.Write(raw[len(raw)/2:]); err != nil {
+		t.Fatal(err)
+	}
+	pw.Close()
+	if msg := <-done; msg != "" {
+		t.Fatal(msg)
+	}
+	if resp, body := doJSON(t, "POST", ts.URL+"/api/v1/ingest?name=after", bytes.NewReader(raw), nil); resp.StatusCode != 200 {
+		t.Fatalf("ingest after slot freed: %d %s", resp.StatusCode, body)
+	}
+}
+
+// TestErrorClassification drives the shared httperr table through the API:
+// client faults are 4xx with the specific status, server faults stay 5xx.
+func TestErrorClassification(t *testing.T) {
+	eng := openTestEngine(t)
+	ts := httptest.NewServer(New(eng, Options{MaxUploadBytes: 32 << 10}))
+	defer ts.Close()
+	raw, _ := testContainer(t, synthvid.Cartoon, 400, 8)
+	if len(raw) >= 32<<10 {
+		t.Fatalf("test container unexpectedly large: %d", len(raw))
+	}
+	// A valid container past the body cap: the reader consumes through the
+	// limit, so the failure is the size cap (413), not a format error.
+	big, _ := testContainer(t, synthvid.Cartoon, 401, 160)
+	if len(big) <= 32<<10 {
+		t.Fatalf("big container too small to trip the cap: %d", len(big))
+	}
+
+	cases := []struct {
+		name       string
+		method     string
+		url        string
+		body       io.Reader
+		wantStatus int
+		wantSubstr string
+	}{
+		{"empty name", "POST", "/api/v1/ingest", bytes.NewReader(raw), 400, "empty video name"},
+		{"whitespace name", "POST", "/api/v1/ingest?name=%20%20", bytes.NewReader(raw), 400, "empty video name"},
+		{"garbage container", "POST", "/api/v1/ingest?name=x", strings.NewReader("this is not a container"), 400, ""},
+		{"truncated container", "POST", "/api/v1/ingest?name=x", bytes.NewReader(raw[:len(raw)/2]), 400, ""},
+		{"oversized body", "POST", "/api/v1/ingest?name=x", bytes.NewReader(big), 413, "32768-byte"},
+		{"reindex missing id", "POST", "/api/v1/reindex?id=9999", nil, 404, "no such video"},
+		{"delete missing id", "DELETE", "/api/v1/videos?id=9999", nil, 404, "no such video"},
+		{"bad search method", "GET", "/api/v1/search", nil, 405, ""},
+		{"bad ingest method", "GET", "/api/v1/ingest", nil, 405, ""},
+		{"search not a jpeg", "POST", "/api/v1/search", strings.NewReader("nope"), 400, ""},
+	}
+	for _, tc := range cases {
+		resp, body := doJSON(t, tc.method, ts.URL+tc.url, tc.body, nil)
+		if resp.StatusCode != tc.wantStatus {
+			t.Errorf("%s: status %d (want %d): %s", tc.name, resp.StatusCode, tc.wantStatus, body)
+		}
+		if tc.wantSubstr != "" && !strings.Contains(body, tc.wantSubstr) {
+			t.Errorf("%s: body %q lacks %q", tc.name, body, tc.wantSubstr)
+		}
+	}
+
+	// None of the failures may have committed anything.
+	vids, err := eng.Store().ListVideos(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vids) != 0 {
+		t.Fatalf("failed requests left %d videos", len(vids))
+	}
+}
+
+// TestAbortDiscardsInFlightIngest is the forced-shutdown path: Abort fires
+// while an upload is mid-stream; the handler must answer 503, commit
+// nothing, and leave the store closeable (no staged writers leak).
+func TestAbortDiscardsInFlightIngest(t *testing.T) {
+	eng := openTestEngine(t)
+	srv := New(eng, Options{})
+	admitted := make(chan string, 1)
+	srv.admitHook = func(name string) { admitted <- name }
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	raw, _ := testContainer(t, synthvid.Cartoon, 500, 16)
+	pr, pw := io.Pipe()
+	done := make(chan struct {
+		status int
+		body   string
+	}, 1)
+	go func() {
+		resp, body := doJSON(t, "POST", ts.URL+"/api/v1/ingest?name=doomed", pr, nil)
+		done <- struct {
+			status int
+			body   string
+		}{resp.StatusCode, body}
+	}()
+	<-admitted
+	if _, err := pw.Write(raw[:len(raw)/2]); err != nil {
+		t.Fatal(err)
+	}
+
+	srv.Abort()
+	// Feed the rest of the container so a decode blocked mid-record can
+	// complete its read and hit the per-iteration cancellation check —
+	// every interleaving ends in ctx.Canceled, never a read error.
+	go func() {
+		pw.Write(raw[len(raw)/2:])
+		pw.Close()
+	}()
+	res := <-done
+	if res.status != http.StatusServiceUnavailable {
+		t.Fatalf("aborted ingest: status %d body %s", res.status, res.body)
+	}
+	vids, err := eng.Store().ListVideos(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vids) != 0 {
+		t.Fatalf("aborted ingest committed %d videos", len(vids))
+	}
+}
+
+// TestMultipartIngestAndSearch covers the browser-shaped request bodies:
+// a multipart upload with name field + file part, and a multipart search.
+func TestMultipartIngestAndSearch(t *testing.T) {
+	eng := openTestEngine(t)
+	ts := httptest.NewServer(New(eng, Options{}))
+	defer ts.Close()
+
+	raw, v := testContainer(t, synthvid.Cartoon, 600, 12)
+	var buf bytes.Buffer
+	mw := multipart.NewWriter(&buf)
+	if err := mw.WriteField("name", "mpclip"); err != nil {
+		t.Fatal(err)
+	}
+	fw, err := mw.CreateFormFile("video", "clip.cvj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw.Write(raw)
+	mw.Close()
+	req, _ := http.NewRequest("POST", ts.URL+"/api/v1/ingest", &buf)
+	req.Header.Set("Content-Type", mw.FormDataContentType())
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ir ingestResp
+	if err := json.NewDecoder(resp.Body).Decode(&ir); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 || ir.VideoID == 0 {
+		t.Fatalf("multipart ingest: %d %+v", resp.StatusCode, ir)
+	}
+
+	var qbuf bytes.Buffer
+	mw = multipart.NewWriter(&qbuf)
+	fw, err = mw.CreateFormFile("image", "q.jpg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw.Write(queryJPEG(t, v))
+	mw.WriteField("k", "3")
+	mw.Close()
+	req, _ = http.NewRequest("POST", ts.URL+"/api/v1/search", &qbuf)
+	req.Header.Set("Content-Type", mw.FormDataContentType())
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sr searchResp
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("multipart search: %d", resp.StatusCode)
+	}
+	if len(sr.Matches) == 0 || len(sr.Matches) > 3 {
+		t.Fatalf("multipart search returned %d matches, want 1..3", len(sr.Matches))
+	}
+	if sr.Matches[0].VideoName != "mpclip" {
+		t.Fatalf("top match %+v, want mpclip", sr.Matches[0])
+	}
+}

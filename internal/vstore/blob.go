@@ -2,6 +2,7 @@ package vstore
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -58,6 +59,15 @@ type BlobWriter struct {
 	tx      *Txn
 	spooled bool
 
+	// staged marks a writer created by NewStagedBlobWriter: it runs
+	// outside any transaction (and outside the DB writer lock), owns its
+	// page images privately and must end in exactly one of Txn.AdoptStaged
+	// or Discard.
+	staged    bool
+	pages     []PageID // every page of a staged chain, for adoption
+	adopted   bool
+	discarded bool
+
 	first  PageID
 	cur    *Page // page currently being filled
 	curLen int   // payload bytes in cur
@@ -85,6 +95,81 @@ func (db *DB) NewBlobWriter(tx *Txn) *BlobWriter {
 // pinned.
 func (db *DB) NewSpooledBlobWriter(tx *Txn) *BlobWriter {
 	return &BlobWriter{db: db, tx: tx, spooled: true}
+}
+
+// NewStagedBlobWriter returns a chunked writer that stages a blob chain
+// OUTSIDE any transaction — and therefore outside the single-writer lock,
+// so any number of stagers can stream concurrently with each other and
+// with an active transaction. Pages are fresh file extensions reserved
+// through the pager's own mutex, owned privately by the writer (they never
+// enter the buffer pool), and written straight to the data file as each
+// chunk seals, so a staged stream holds O(1) memory.
+//
+// The chain is unreachable and non-durable until a transaction adopts it
+// (Txn.AdoptStaged) and commits: adoption WAL-logs the pages exactly like
+// spooled pages. A chain that will not be committed must be Discarded —
+// its pages become unreachable file garbage, the same fate pages allocated
+// by an aborted transaction meet. DB.Close refuses to run while staged
+// writers are active (Write bytes would race the closing file handle).
+//
+// Registration takes only the dedicated stager mutex, never the writer
+// lock, so a new upload can begin staging while another client's
+// transaction is open — the point of staging.
+func (db *DB) NewStagedBlobWriter() (*BlobWriter, error) {
+	db.stageMu.Lock()
+	defer db.stageMu.Unlock()
+	if db.stageClosed {
+		return nil, ErrClosed
+	}
+	db.stagers++
+	return &BlobWriter{db: db, staged: true}, nil
+}
+
+// Discard abandons a staged chain (idempotent; a no-op after adoption).
+// It takes only the stager-registration mutex, never the writer lock, so
+// it is safe to call while another transaction is open — the cancellation
+// path an aborted upload takes while a concurrent client commits.
+func (w *BlobWriter) Discard() {
+	if !w.staged || w.discarded || w.adopted {
+		return
+	}
+	w.discarded = true
+	w.closed = true
+	w.cur = nil
+	w.db.stageMu.Lock()
+	w.db.stagers--
+	w.db.stageMu.Unlock()
+}
+
+// AdoptStaged transfers a Closed staged chain into tx: its pages join the
+// transaction's spooled set and are WAL-logged at commit, making the chain
+// durable if and only if the transaction commits. The BlobRef obtained
+// from the writer's Close may then be stored in rows inserted under tx.
+func (tx *Txn) AdoptStaged(w *BlobWriter) error {
+	if tx.done {
+		return ErrTxnDone
+	}
+	if !w.staged {
+		return errors.New("vstore: AdoptStaged of a non-staged blob writer")
+	}
+	if w.err != nil {
+		return w.err
+	}
+	if w.discarded {
+		return errors.New("vstore: AdoptStaged of a discarded blob chain")
+	}
+	if !w.closed {
+		return errors.New("vstore: AdoptStaged before Close")
+	}
+	if w.adopted {
+		return nil
+	}
+	w.adopted = true
+	tx.spooled = append(tx.spooled, w.pages...)
+	tx.db.stageMu.Lock()
+	tx.db.stagers--
+	tx.db.stageMu.Unlock()
+	return nil
 }
 
 // Write appends p to the chain. It implements io.Writer.
@@ -126,7 +211,9 @@ func (w *BlobWriter) advance() error {
 	}
 	if w.cur != nil {
 		w.cur.SetLink(p.id)
-		w.sealCur()
+		if err := w.sealCur(); err != nil {
+			return err
+		}
 	}
 	w.cur = p
 	w.curLen = 0
@@ -135,6 +222,14 @@ func (w *BlobWriter) advance() error {
 
 // allocNext hands out the chain's next page in the writer's mode.
 func (w *BlobWriter) allocNext() (*Page, error) {
+	if w.staged {
+		// Detached: reserve the id under the pager mutex, but keep the
+		// page image private to this writer — it never enters the buffer
+		// pool, so staging cannot evict pages a transaction relies on.
+		p := &Page{id: w.db.pager.extendDetached(), data: make([]byte, PageSize)}
+		w.pages = append(w.pages, p.id)
+		return p, nil
+	}
 	if !w.spooled {
 		return w.db.allocPage(w.tx)
 	}
@@ -156,16 +251,22 @@ func (w *BlobWriter) allocNext() (*Page, error) {
 // sealCur finalises the just-completed page: its chunk length is now
 // final, so the payload checksum is stamped, then spooled pages become
 // evictable (the pager may write them to the data file before commit;
-// fresh-extension pages are crash-benign there); transactional pages
-// stay pinned by touch.
-func (w *BlobWriter) sealCur() {
+// fresh-extension pages are crash-benign there) and staged pages are
+// written to their file slot directly — durable only once a transaction
+// adopts and WAL-logs them, crash-benign garbage otherwise. Transactional
+// pages stay pinned by touch.
+func (w *BlobWriter) sealCur() error {
 	if w.cur == nil {
-		return
+		return nil
 	}
 	binary.BigEndian.PutUint32(w.cur.data[offBlobCRC:], blobPageCRC(w.cur))
+	if w.staged {
+		return w.db.pager.writeDetached(w.cur)
+	}
 	if w.spooled {
 		w.cur.pins--
 	}
+	return nil
 }
 
 // Close finalises the chain and returns its reference. A zero-length value
@@ -183,7 +284,10 @@ func (w *BlobWriter) Close() (BlobRef, error) {
 			return BlobRef{}, err
 		}
 	}
-	w.sealCur()
+	if err := w.sealCur(); err != nil {
+		w.err = err
+		return BlobRef{}, err
+	}
 	w.closed = true
 	return BlobRef{First: w.first, Len: w.n}, nil
 }

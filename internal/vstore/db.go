@@ -71,6 +71,16 @@ type DB struct {
 	nextTxn  uint64
 	activeTx *Txn
 
+	// stageMu guards staged-blob-writer registration (stagers,
+	// stageClosed). It is deliberately separate from mu — and ordered
+	// after it: Close acquires stageMu while holding mu exclusively — so
+	// registering a stager never waits behind an open transaction; that
+	// independence is what lets uploads stage while another client
+	// commits.
+	stageMu     sync.Mutex
+	stagers     int
+	stageClosed bool
+
 	stats Stats
 }
 
@@ -219,7 +229,17 @@ func (db *DB) Close() error {
 	if db.activeTx != nil {
 		return errors.New("vstore: close with active transaction")
 	}
+	db.stageMu.Lock()
+	if db.stagers != 0 {
+		db.stageMu.Unlock()
+		return errors.New("vstore: close with active staged blob writers")
+	}
+	db.stageClosed = true
+	db.stageMu.Unlock()
 	if err := db.checkpointLocked(); err != nil {
+		db.stageMu.Lock()
+		db.stageClosed = false
+		db.stageMu.Unlock()
 		return err
 	}
 	db.closed = true

@@ -132,6 +132,31 @@ func (pg *pager) insertCache(p *Page) {
 	}
 }
 
+// extendDetached reserves a fresh page id at the end of the file without
+// touching the buffer pool or the free list. Staged blob writers running
+// outside the DB writer lock use it: the caller owns the page image
+// privately (the page is never inserted into the cache, so concurrent
+// staging cannot evict pages a transaction holds pointers to) and persists
+// it with writeDetached once sealed.
+func (pg *pager) extendDetached() PageID {
+	pg.mu.Lock()
+	id := pg.pageCount
+	pg.pageCount++
+	pg.mu.Unlock()
+	return id
+}
+
+// writeDetached writes a detached (staged) page image at its slot.
+// os.File.WriteAt is safe for concurrent use and detached pages are
+// invisible to the buffer pool, so no bookkeeping lock is needed; distinct
+// stagers always write distinct slots.
+func (pg *pager) writeDetached(p *Page) error {
+	if _, err := pg.f.WriteAt(p.data, int64(p.id)*PageSize); err != nil {
+		return fmt.Errorf("vstore: write staged page %d: %w", p.id, err)
+	}
+	return nil
+}
+
 // writePage writes the page image at its slot and clears the dirty flag.
 func (pg *pager) writePage(p *Page) error {
 	if _, err := pg.f.WriteAt(p.data, int64(p.id)*PageSize); err != nil {

@@ -8,17 +8,21 @@ package webui
 import (
 	"bytes"
 	"encoding/base64"
+	"errors"
 	"fmt"
 	"html/template"
 	"net/http"
 	"strconv"
 
 	"cbvr/internal/core"
+	"cbvr/internal/httperr"
 	"cbvr/internal/imaging"
 )
 
 // maxUploadBytes bounds request bodies (query frames and video uploads).
-const maxUploadBytes = 64 << 20
+// A variable so tests can exercise the over-limit path without a 64 MiB
+// body.
+var maxUploadBytes int64 = 64 << 20
 
 // Server holds the handlers. Create one with New.
 type Server struct {
@@ -137,7 +141,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	r.Body = http.MaxBytesReader(w, r.Body, maxUploadBytes)
 	file, _, err := r.FormFile("image")
 	if err != nil {
-		http.Error(w, "missing image upload", http.StatusBadRequest)
+		uploadFormError(w, err, "missing image upload")
 		return
 	}
 	defer file.Close()
@@ -150,9 +154,9 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if v, err := strconv.Atoi(r.FormValue("k")); err == nil && v > 0 && v <= 100 {
 		k = v
 	}
-	matches, err := s.eng.SearchFrame(query, core.SearchOptions{K: k})
+	matches, err := s.eng.SearchFrameCtx(r.Context(), query, core.SearchOptions{K: k})
 	if err != nil {
-		httpError(w, err)
+		classifiedError(w, err)
 		return
 	}
 	render(w, searchTmpl, map[string]any{"Matches": matches})
@@ -242,7 +246,7 @@ func (s *Server) handleAdminUpload(w http.ResponseWriter, r *http.Request) {
 	r.Body = http.MaxBytesReader(w, r.Body, maxUploadBytes)
 	file, hdr, err := r.FormFile("video")
 	if err != nil {
-		http.Error(w, "missing video upload", http.StatusBadRequest)
+		uploadFormError(w, err, "missing video upload")
 		return
 	}
 	defer file.Close()
@@ -253,9 +257,11 @@ func (s *Server) handleAdminUpload(w http.ResponseWriter, r *http.Request) {
 	// Stream the upload straight into ingest: the engine decodes and
 	// indexes frame by frame, so large clips never materialise as decoded
 	// frame slices (truncated uploads surface as io.ErrUnexpectedEOF from
-	// the container reader).
-	if _, err := s.eng.IngestVideoStream(name, file); err != nil {
-		http.Error(w, "ingest failed: "+err.Error(), http.StatusBadRequest)
+	// the container reader). The shared classifier keeps client faults
+	// (malformed container, empty name, body over the cap) apart from
+	// storage faults — the latter must report 500, not blame the upload.
+	if _, err := s.eng.IngestVideoStreamCtx(r.Context(), name, file); err != nil {
+		classifiedError(w, fmt.Errorf("ingest failed: %w", err))
 		return
 	}
 	http.Redirect(w, r, "/", http.StatusSeeOther)
@@ -272,7 +278,7 @@ func (s *Server) handleAdminDelete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.eng.DeleteVideo(id); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		storedError(w, err)
 		return
 	}
 	http.Redirect(w, r, "/", http.StatusSeeOther)
@@ -294,12 +300,12 @@ func (s *Server) handleAdminReindex(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, "bad id", http.StatusBadRequest)
 			return
 		}
-		if _, err := s.eng.ReindexVideo(id); err != nil {
-			http.Error(w, "reindex failed: "+err.Error(), http.StatusBadRequest)
+		if _, err := s.eng.ReindexVideoCtx(r.Context(), id); err != nil {
+			storedError(w, fmt.Errorf("reindex failed: %w", err))
 			return
 		}
-	} else if _, err := s.eng.ReindexAll(); err != nil {
-		http.Error(w, "reindex failed: "+err.Error(), http.StatusBadRequest)
+	} else if _, err := s.eng.ReindexAllCtx(r.Context()); err != nil {
+		storedError(w, fmt.Errorf("reindex failed: %w", err))
 		return
 	}
 	http.Redirect(w, r, "/", http.StatusSeeOther)
@@ -326,4 +332,32 @@ func render(w http.ResponseWriter, t *template.Template, data any) {
 
 func httpError(w http.ResponseWriter, err error) {
 	http.Error(w, "internal error: "+err.Error(), http.StatusInternalServerError)
+}
+
+// classifiedError reports an upload-path failure with the shared status
+// table (internal/httperr): malformed or truncated containers and empty
+// names are the client's fault (400), a body over the cap is 413 naming
+// the limit, abandonment is 503 — and everything else is an internal
+// fault (500), which these handlers used to misreport as 400.
+func classifiedError(w http.ResponseWriter, err error) {
+	http.Error(w, httperr.Message(err), httperr.StatusOf(err))
+}
+
+// storedError reports a failure from an operation over already-stored
+// data: a missing ID is 404; a container format error here means store
+// corruption, so it stays 500 rather than blaming the request.
+func storedError(w http.ResponseWriter, err error) {
+	http.Error(w, httperr.Message(err), httperr.StatusOfStored(err))
+}
+
+// uploadFormError reports a FormFile failure: a body over the cap is 413
+// with the limit named (it used to surface as a misleading "missing
+// upload" 400); anything else really is a missing/malformed form part.
+func uploadFormError(w http.ResponseWriter, err error, missing string) {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		http.Error(w, httperr.Message(err), http.StatusRequestEntityTooLarge)
+		return
+	}
+	http.Error(w, missing, http.StatusBadRequest)
 }

@@ -223,12 +223,12 @@ func TestAdminDelete(t *testing.T) {
 	if n != 0 {
 		t.Errorf("videos after delete = %d", n)
 	}
-	// Deleting again fails politely.
+	// Deleting again names a video that no longer exists: 404.
 	req = httptest.NewRequest(http.MethodPost, "/admin/delete", strings.NewReader(fmt.Sprintf("id=%d", res.VideoID)))
 	req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
 	rec = httptest.NewRecorder()
 	srv.ServeHTTP(rec, req)
-	if rec.Code != http.StatusBadRequest {
+	if rec.Code != http.StatusNotFound {
 		t.Errorf("double delete status %d", rec.Code)
 	}
 }
@@ -308,6 +308,65 @@ func TestAdminUploadTruncatedContainerRejected(t *testing.T) {
 	}
 }
 
+// TestAdminUploadEmptyNameRejected uploads a valid container whose name
+// field is only whitespace (so the filename fallback does not engage): the
+// engine's empty-name check must surface as a 400, not a commit of an
+// unaddressable video.
+func TestAdminUploadEmptyNameRejected(t *testing.T) {
+	srv, eng, _ := newTestServer(t)
+	v := synthvid.Generate(synthvid.News, synthvid.Config{Width: 96, Height: 72, Frames: 4, Shots: 1, Seed: 6})
+	raw, err := cvj.EncodeBytes(v.Frames, v.FPS, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, ctype := multipartBody(t, "video", "clip.cvj", raw, map[string]string{"name": "   "})
+	req := httptest.NewRequest(http.MethodPost, "/admin/upload", body)
+	req.Header.Set("Content-Type", ctype)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	if !strings.Contains(rec.Body.String(), "empty video name") {
+		t.Errorf("body %q does not name the fault", rec.Body.String())
+	}
+	if n, _ := eng.Store().CountVideos(nil); n != 1 {
+		t.Errorf("videos after rejected upload = %d, want 1", n)
+	}
+}
+
+// TestAdminUploadOverLimit413 shrinks the upload cap and sends a valid
+// container over it: the response must be 413 and name the limit, not the
+// old "missing video upload" 400.
+func TestAdminUploadOverLimit413(t *testing.T) {
+	old := maxUploadBytes
+	maxUploadBytes = 4096
+	defer func() { maxUploadBytes = old }()
+	srv, eng, _ := newTestServer(t)
+	v := synthvid.Generate(synthvid.Movie, synthvid.Config{Width: 96, Height: 72, Frames: 12, Shots: 3, Seed: 7})
+	raw, err := cvj.EncodeBytes(v.Frames, v.FPS, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(raw)) <= maxUploadBytes {
+		t.Fatalf("container only %d bytes, need > %d", len(raw), maxUploadBytes)
+	}
+	body, ctype := multipartBody(t, "video", "big.cvj", raw, map[string]string{"name": "big_00"})
+	req := httptest.NewRequest(http.MethodPost, "/admin/upload", body)
+	req.Header.Set("Content-Type", ctype)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	if !strings.Contains(rec.Body.String(), "4096-byte") {
+		t.Errorf("body %q does not name the limit", rec.Body.String())
+	}
+	if n, _ := eng.Store().CountVideos(nil); n != 1 {
+		t.Errorf("videos after rejected upload = %d, want 1", n)
+	}
+}
+
 // TestAdminReindexSingle drives POST /admin/reindex with an id: the rows
 // must be rebuilt in place (same IDs, parsable features) and the redirect
 // must land home.
@@ -365,11 +424,13 @@ func TestAdminReindexAll(t *testing.T) {
 		t.Errorf("bad id: status %d", rec.Code)
 	}
 
+	// A well-formed id naming no stored video is an addressing failure,
+	// not a malformed request: 404, not 400.
 	req = httptest.NewRequest(http.MethodPost, "/admin/reindex", strings.NewReader("id=42"))
 	req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
 	rec = httptest.NewRecorder()
 	srv.ServeHTTP(rec, req)
-	if rec.Code != http.StatusBadRequest {
+	if rec.Code != http.StatusNotFound {
 		t.Errorf("missing video: status %d", rec.Code)
 	}
 }
