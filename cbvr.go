@@ -110,6 +110,11 @@ func (s *System) Close() error { return s.eng.Close() }
 // harnesses, admin operations).
 func (s *System) Engine() *core.Engine { return s.eng }
 
+// Degraded reports the store's sticky read-only state: nil while healthy,
+// otherwise the write fault that forced it read-only (reads keep serving
+// the committed snapshot; mutations fail until the process restarts).
+func (s *System) Degraded() error { return s.eng.Degraded() }
+
 // IngestVideo stores a CVJ video container: frames are decoded, key frames
 // selected (threshold 800 over the naive signature), all seven features
 // extracted, the range bucket assigned, and everything committed in one

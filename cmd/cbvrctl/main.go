@@ -14,6 +14,7 @@
 //	cbvrctl delete   -db cbvr.db -id 3
 //	cbvrctl reindex  -db cbvr.db [-id 3]              # rebuild feature rows
 //	cbvrctl stats    -db cbvr.db
+//	cbvrctl fsck     -db cbvr.db                      # offline verifier
 package main
 
 import (
@@ -29,6 +30,7 @@ import (
 	"cbvr/internal/eval"
 	"cbvr/internal/features"
 	"cbvr/internal/synthvid"
+	"cbvr/internal/vstore"
 )
 
 func main() {
@@ -67,6 +69,8 @@ func main() {
 		err = cmdReindex(ctx, args)
 	case "stats":
 		err = cmdStats(args)
+	case "fsck":
+		err = cmdFsck(args)
 	default:
 		usage()
 		os.Exit(2)
@@ -78,7 +82,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: cbvrctl <init|gen|ingest|list|query|queryvid|describe|export|delete|reindex|stats> [flags]
+	fmt.Fprintln(os.Stderr, `usage: cbvrctl <init|gen|ingest|list|query|queryvid|describe|export|delete|reindex|stats|fsck> [flags]
 run "cbvrctl <command> -h" for command flags`)
 }
 
@@ -430,5 +434,36 @@ func cmdStats(args []string) error {
 			}
 		}
 	}
+	return nil
+}
+
+// cmdFsck opens the store (running WAL recovery first, exactly as any
+// consumer would) and walks every page, btree and blob chain offline. Any
+// corruption prints one line per problem and exits non-zero, so scripts
+// and CI can gate on a clean store.
+func cmdFsck(args []string) error {
+	fs := flag.NewFlagSet("fsck", flag.ExitOnError)
+	db := fs.String("db", "", "database path")
+	fs.Parse(args)
+	if *db == "" {
+		return fmt.Errorf("missing -db flag")
+	}
+	store, err := vstore.Open(*db, nil)
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+	rep, err := vstore.Check(store)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("pages: %d  tables: %d  rows: %d\n", rep.Pages, rep.Tables, rep.Rows)
+	if !rep.Clean() {
+		for _, p := range rep.Problems {
+			fmt.Fprintln(os.Stderr, "fsck:", p)
+		}
+		return fmt.Errorf("%d problem(s) found", len(rep.Problems))
+	}
+	fmt.Println("ok")
 	return nil
 }

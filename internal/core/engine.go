@@ -266,6 +266,13 @@ func (e *Engine) Close() error { return e.store.Close() }
 // Store exposes the catalog layer (admin operations, diagnostics).
 func (e *Engine) Store() *catalog.Store { return e.store }
 
+// Degraded reports the underlying store's sticky read-only state: nil
+// while healthy, the poisoning fault (wrapping vstore.ErrReadOnly) once a
+// transactional write fault has forced the store read-only. Reads and
+// searches keep serving the last committed snapshot; mutations fail fast
+// until the process restarts and recovery settles durable state.
+func (e *Engine) Degraded() error { return e.store.DB().Degraded() }
+
 func (e *Engine) workers() int {
 	if e.opts.Workers > 0 {
 		return e.opts.Workers

@@ -14,6 +14,7 @@ import (
 
 	"cbvr/internal/core"
 	"cbvr/internal/cvj"
+	"cbvr/internal/vstore"
 )
 
 // StatusOf classifies err:
@@ -25,6 +26,8 @@ import (
 //   - core.ErrNotFound → 404
 //   - context cancellation / deadline → 503 (the request was abandoned or
 //     the server is shutting down; nothing was committed)
+//   - vstore.ErrReadOnly → 503 (the store is degraded read-only after a
+//     write fault; retry against a restarted process, not this one)
 //   - cvj.ErrFormat or io.ErrUnexpectedEOF → 400 (the uploaded bytes are
 //     not a valid container, or were cut off mid-stream)
 //   - anything else → 500 (storage or internal fault; not the client)
@@ -42,6 +45,8 @@ func StatusOf(err error) int {
 	case errors.Is(err, core.ErrNotFound):
 		return http.StatusNotFound
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, vstore.ErrReadOnly):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, cvj.ErrFormat), errors.Is(err, io.ErrUnexpectedEOF):
 		return http.StatusBadRequest
@@ -63,9 +68,18 @@ func StatusOfStored(err error) int {
 		return http.StatusNotFound
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, vstore.ErrReadOnly):
+		return http.StatusServiceUnavailable
 	default:
 		return http.StatusInternalServerError
 	}
+}
+
+// RetryAfter reports whether err warrants a Retry-After header on its 503:
+// a degraded store recovers only on process restart, so clients should
+// back off substantially rather than hammer a read-only instance.
+func RetryAfter(err error) bool {
+	return errors.Is(err, vstore.ErrReadOnly)
 }
 
 // Message renders err for the response body. The 413 case names the limit

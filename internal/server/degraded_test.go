@@ -1,0 +1,107 @@
+package server
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+
+	"cbvr/internal/core"
+	"cbvr/internal/synthvid"
+	"cbvr/internal/vstore"
+	"cbvr/internal/vstore/faultfs"
+)
+
+// TestServerDegradedMode drives the whole degraded-mode contract through
+// the HTTP surface: a write fault mid-commit flips /healthz from ok to
+// degraded, every mutation fails fast with 503 + Retry-After, and search
+// keeps returning correct results from the committed snapshot.
+func TestServerDegradedMode(t *testing.T) {
+	ffs := faultfs.New()
+	eng, err := core.Open("degraded.db", core.Options{
+		Store: vstore.Options{FS: ffs},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	ts := httptest.NewServer(New(eng, Options{}))
+	defer ts.Close()
+
+	// Healthy baseline: one resident video, healthz ok.
+	raw, v := testContainer(t, synthvid.Cartoon, 500, 12)
+	var res ingestResp
+	if resp, body := doJSON(t, "POST", ts.URL+"/api/v1/ingest?name=resident", bytes.NewReader(raw), &res); resp.StatusCode != 200 {
+		t.Fatalf("seed ingest: %d %s", resp.StatusCode, body)
+	}
+	var health map[string]string
+	if resp, _ := doJSON(t, "GET", ts.URL+"/healthz", nil, &health); resp.StatusCode != 200 || health["status"] != "ok" {
+		t.Fatalf("healthy healthz: %d %v", resp.StatusCode, health)
+	}
+
+	// Poison the store: fail the next WAL append, then trigger a commit by
+	// deleting through the API. The delete must surface as a 503 with
+	// Retry-After, not a silent success or a 500.
+	fired := false
+	ffs.SetInjector(func(op faultfs.Op) faultfs.Action {
+		if !fired && op.Kind == faultfs.OpWrite && op.Name == "degraded.db.wal" {
+			fired = true
+			return faultfs.ActErr
+		}
+		return faultfs.ActNone
+	})
+	resp, body := doJSON(t, "DELETE", ts.URL+"/api/v1/videos?id="+itoa(res.VideoID), nil, nil)
+	ffs.SetInjector(nil)
+	if resp.StatusCode != 503 {
+		t.Fatalf("delete under WAL fault: %d %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("degraded delete 503 missing Retry-After")
+	}
+	if eng.Degraded() == nil {
+		t.Fatal("engine not degraded after WAL fault")
+	}
+
+	// healthz reflects the transition.
+	if resp, _ := doJSON(t, "GET", ts.URL+"/healthz", nil, &health); resp.StatusCode != 503 ||
+		health["status"] != "degraded" || health["reason"] == "" || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("degraded healthz: %d %v retry-after=%q", resp.StatusCode, health, resp.Header.Get("Retry-After"))
+	}
+
+	// Every mutation fails fast with 503 + Retry-After.
+	for _, m := range []struct{ method, url string }{
+		{"POST", ts.URL + "/api/v1/ingest?name=rejected"},
+		{"DELETE", ts.URL + "/api/v1/videos?id=" + itoa(res.VideoID)},
+		{"POST", ts.URL + "/api/v1/reindex"},
+	} {
+		resp, body := doJSON(t, m.method, m.url, bytes.NewReader(raw), nil)
+		if resp.StatusCode != 503 {
+			t.Fatalf("%s %s while degraded: %d %s", m.method, m.url, resp.StatusCode, body)
+		}
+		if resp.Header.Get("Retry-After") == "" {
+			t.Fatalf("%s %s while degraded: 503 missing Retry-After", m.method, m.url)
+		}
+	}
+
+	// Reads keep working: the listing still shows the resident video (the
+	// failed delete rolled back) and search still ranks it first.
+	var vids videosResp
+	if resp, body := doJSON(t, "GET", ts.URL+"/api/v1/videos", nil, &vids); resp.StatusCode != 200 {
+		t.Fatalf("videos while degraded: %d %s", resp.StatusCode, body)
+	}
+	if len(vids.Videos) != 1 || vids.Videos[0].ID != res.VideoID {
+		t.Fatalf("degraded listing = %+v, want the resident video", vids.Videos)
+	}
+	var sr searchResp
+	sreq, _ := doJSON(t, "POST", ts.URL+"/api/v1/search?k=3", bytes.NewReader(queryJPEG(t, v)), &sr)
+	if sreq.StatusCode != 200 {
+		t.Fatalf("search while degraded: %d", sreq.StatusCode)
+	}
+	if len(sr.Matches) == 0 || sr.Matches[0].VideoID != res.VideoID {
+		t.Fatalf("degraded search matches = %+v, want the resident video on top", sr.Matches)
+	}
+}
+
+func itoa(v int64) string {
+	return strconv.FormatInt(v, 10)
+}

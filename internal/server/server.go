@@ -92,7 +92,34 @@ func New(eng *core.Engine, opts Options) *Server {
 	s.mux.HandleFunc("/api/v1/videos", s.handleVideos)
 	s.mux.HandleFunc("/api/v1/ingest", s.handleIngest)
 	s.mux.HandleFunc("/api/v1/reindex", s.handleReindex)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	return s
+}
+
+// degradedRetryAfter is the Retry-After value sent with degraded-store
+// 503s. A degraded store recovers only when the process restarts and
+// recovery settles durable state, so the backoff is generous — clients
+// gain nothing by hammering a read-only instance.
+const degradedRetryAfter = "30"
+
+// handleHealthz reports liveness and store health: 200 {"status":"ok"}
+// while writable, 503 {"status":"degraded",...} once a write fault has
+// forced the store read-only. Searches still work in the degraded state;
+// orchestrators use this signal to rotate in a replacement.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		methodErr(w, "GET, HEAD")
+		return
+	}
+	if err := s.eng.Degraded(); err != nil {
+		w.Header().Set("Retry-After", degradedRetryAfter)
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{
+			"status": "degraded",
+			"reason": err.Error(),
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
 // ServeHTTP implements http.Handler. Each request runs under a context
@@ -128,6 +155,9 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 // writeErr classifies err through the shared table and emits it as JSON.
 func writeErr(w http.ResponseWriter, err error) {
+	if httperr.RetryAfter(err) {
+		w.Header().Set("Retry-After", degradedRetryAfter)
+	}
 	writeJSON(w, httperr.StatusOf(err), map[string]string{"error": httperr.Message(err)})
 }
 
@@ -135,6 +165,9 @@ func writeErr(w http.ResponseWriter, err error) {
 // (reindex, delete), where a format error means store corruption, not a
 // bad request.
 func writeStoredErr(w http.ResponseWriter, err error) {
+	if httperr.RetryAfter(err) {
+		w.Header().Set("Retry-After", degradedRetryAfter)
+	}
 	writeJSON(w, httperr.StatusOfStored(err), map[string]string{"error": httperr.Message(err)})
 }
 
@@ -268,6 +301,13 @@ func (s *Server) handleVideos(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		methodErr(w, http.MethodPost)
+		return
+	}
+	// Refuse degraded uploads before the client streams the container: the
+	// store would reject the staged writer anyway, and failing here costs
+	// one header round-trip instead of the whole body.
+	if err := s.eng.Degraded(); err != nil {
+		writeErr(w, err)
 		return
 	}
 	select {

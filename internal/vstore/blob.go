@@ -121,6 +121,12 @@ func (db *DB) NewStagedBlobWriter() (*BlobWriter, error) {
 	if db.stageClosed {
 		return nil, ErrClosed
 	}
+	if err := db.Degraded(); err != nil {
+		// A staged chain could only ever be adopted by a transaction, and
+		// no transaction can begin while degraded; fail the upload now
+		// rather than after it streams gigabytes.
+		return nil, err
+	}
 	db.stagers++
 	return &BlobWriter{db: db, staged: true}, nil
 }

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Meta page layout after the common header:
@@ -37,6 +38,12 @@ var ErrClosed = errors.New("vstore: database closed")
 // ErrTxnDone is returned when a finished transaction is reused.
 var ErrTxnDone = errors.New("vstore: transaction already finished")
 
+// ErrReadOnly is returned by mutating operations once a write-path fault
+// has poisoned the DB into sticky degraded read-only mode. Reads keep
+// serving the last committed snapshot; mutations fail fast until the
+// process restarts and recovery decides from durable state.
+var ErrReadOnly = errors.New("vstore: database is degraded (read-only after write fault)")
+
 // Options tunes a DB instance.
 type Options struct {
 	// CachePages bounds the buffer pool; <= 0 selects DefaultCachePages.
@@ -44,6 +51,9 @@ type Options struct {
 	// NoWALSync skips fsync on commit. Crash safety is lost; useful only
 	// for benchmarks isolating fsync cost.
 	NoWALSync bool
+	// FS substitutes the filesystem implementation; nil selects the real
+	// OS filesystem. Fault-injection tests pass a faultfs.FS here.
+	FS VFS
 }
 
 // Stats carries cumulative operation counters for benchmarks and tests.
@@ -81,6 +91,11 @@ type DB struct {
 	stagers     int
 	stageClosed bool
 
+	// degraded is set (once, sticky) by poison when a transactional
+	// write-path fault leaves durability in doubt. Atomic because staged
+	// writer registration and Degraded() read it outside db.mu.
+	degraded atomic.Pointer[error]
+
 	stats Stats
 }
 
@@ -104,13 +119,17 @@ func Open(path string, opts *Options) (*DB, error) {
 	if opts != nil {
 		o = *opts
 	}
-	pg, err := openPager(path, o.CachePages)
+	fs := o.FS
+	if fs == nil {
+		fs = OSFS{}
+	}
+	pg, err := openPager(fs, path, o.CachePages)
 	if err != nil {
 		return nil, err
 	}
-	w, err := openWAL(path + ".wal")
+	w, err := openWAL(fs, path+".wal")
 	if err != nil {
-		pg.close()
+		_ = pg.close() // errvet:ignore open already failed
 		return nil, err
 	}
 	db := &DB{
@@ -121,11 +140,11 @@ func Open(path string, opts *Options) (*DB, error) {
 		tables: make(map[string]*Table),
 	}
 	if err := db.recover(); err != nil {
-		db.closeFiles()
+		_ = db.closeFiles() // errvet:ignore open already failed
 		return nil, err
 	}
 	if err := db.bootstrap(); err != nil {
-		db.closeFiles()
+		_ = db.closeFiles() // errvet:ignore open already failed
 		return nil, err
 	}
 	return db, nil
@@ -134,7 +153,7 @@ func Open(path string, opts *Options) (*DB, error) {
 // recover replays committed transactions from the WAL into the data file,
 // then truncates the log.
 func (db *DB) recover() error {
-	recs, err := readWAL(db.wal.f)
+	recs, err := db.wal.readAll()
 	if err != nil {
 		return err
 	}
@@ -164,6 +183,28 @@ func (db *DB) recover() error {
 	return db.wal.truncate()
 }
 
+// initMeta stamps a fresh (all-zero) meta page and installs an empty
+// catalog. The zero page already carries type meta and empty catalog
+// fields (invalidPage is 0), so only magic and version need writing.
+func (db *DB) initMeta(meta *Page) error {
+	meta.SetType(pageTypeMeta)
+	binary.BigEndian.PutUint32(meta.data[offMetaMagic:], metaMagic)
+	binary.BigEndian.PutUint32(meta.data[offMetaVersion:], metaVersion)
+	meta.MarkDirty()
+	db.catalog = catalogData{Tables: make(map[string]*tableMeta)}
+	return db.pager.flushAll()
+}
+
+// pageIsZero reports whether the page image is entirely zero bytes.
+func pageIsZero(data []byte) bool {
+	for _, b := range data {
+		if b != 0 {
+			return false
+		}
+	}
+	return true
+}
+
 // bootstrap loads (or initialises) the meta page and catalog.
 func (db *DB) bootstrap() error {
 	if db.pager.pageCount == 0 {
@@ -172,21 +213,21 @@ func (db *DB) bootstrap() error {
 		if err != nil {
 			return err
 		}
-		meta.SetType(pageTypeMeta)
-		binary.BigEndian.PutUint32(meta.data[offMetaMagic:], metaMagic)
-		binary.BigEndian.PutUint32(meta.data[offMetaVersion:], metaVersion)
-		meta.MarkDirty()
-		db.catalog = catalogData{Tables: make(map[string]*tableMeta)}
-		if err := db.pager.flushAll(); err != nil {
-			return err
-		}
-		return nil
+		return db.initMeta(meta)
 	}
 	meta, err := db.pager.get(0)
 	if err != nil {
 		return err
 	}
 	if binary.BigEndian.Uint32(meta.data[offMetaMagic:]) != metaMagic {
+		if db.pager.pageCount == 1 && pageIsZero(meta.data) {
+			// Interrupted fresh-DB bootstrap: allocate() extends the file
+			// with a zero page before initMeta stamps it, so a crash
+			// between the two leaves exactly one all-zero page. Recovery
+			// has already run, so no committed state can reference it —
+			// finish the initialisation instead of rejecting the file.
+			return db.initMeta(meta)
+		}
 		return fmt.Errorf("vstore: %s is not a vstore database", db.path)
 	}
 	if v := binary.BigEndian.Uint32(meta.data[offMetaVersion:]); v != metaVersion {
@@ -213,13 +254,19 @@ func (db *DB) bootstrap() error {
 	return nil
 }
 
-func (db *DB) closeFiles() {
-	db.wal.close()
-	db.pager.close()
+func (db *DB) closeFiles() error {
+	werr := db.wal.close()
+	perr := db.pager.close()
+	if werr != nil {
+		return werr
+	}
+	return perr
 }
 
 // Close checkpoints and closes the database. It fails if a transaction is
-// still active.
+// still active. A degraded DB skips the checkpoint — its buffer pool may
+// disagree with durable state, so the next Open must decide from the data
+// file and WAL alone — and just closes the files.
 func (db *DB) Close() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -236,15 +283,16 @@ func (db *DB) Close() error {
 	}
 	db.stageClosed = true
 	db.stageMu.Unlock()
-	if err := db.checkpointLocked(); err != nil {
-		db.stageMu.Lock()
-		db.stageClosed = false
-		db.stageMu.Unlock()
-		return err
+	if db.degraded.Load() == nil {
+		if err := db.checkpointLocked(); err != nil {
+			db.stageMu.Lock()
+			db.stageClosed = false
+			db.stageMu.Unlock()
+			return err
+		}
 	}
 	db.closed = true
-	db.closeFiles()
-	return nil
+	return db.closeFiles()
 }
 
 // SimulateCrash abandons the database without flushing dirty pages or
@@ -258,7 +306,7 @@ func (db *DB) SimulateCrash() {
 	}
 	db.closed = true
 	db.activeTx = nil
-	db.closeFiles()
+	_ = db.closeFiles() // errvet:ignore simulated crash abandons state by design
 }
 
 // Checkpoint flushes all dirty pages to the data file and truncates the
@@ -269,20 +317,46 @@ func (db *DB) Checkpoint() error {
 	if db.closed {
 		return ErrClosed
 	}
+	if err := db.Degraded(); err != nil {
+		return err
+	}
 	if db.activeTx != nil {
 		return errors.New("vstore: checkpoint with active transaction")
 	}
 	return db.checkpointLocked()
 }
 
+// checkpointLocked flushes and truncates. A failure poisons the DB: a
+// partial flush leaves the data file behind the buffer pool, and the WAL
+// must be preserved exactly as-is for the next recovery, so no further
+// writes may run.
 func (db *DB) checkpointLocked() error {
 	if err := db.pager.flushAll(); err != nil {
-		return err
+		return db.poison("checkpoint flush", err)
 	}
 	if err := db.wal.truncate(); err != nil {
-		return err
+		return db.poison("checkpoint wal truncate", err)
 	}
 	db.stats.Checkpoints++
+	return nil
+}
+
+// poison transitions the DB into sticky degraded read-only mode, recording
+// the first cause. It returns an error wrapping both ErrReadOnly and the
+// cause so callers and HTTP classifiers see the transition immediately.
+func (db *DB) poison(where string, cause error) error {
+	err := fmt.Errorf("%w: %s: %v", ErrReadOnly, where, cause)
+	db.degraded.CompareAndSwap(nil, &err)
+	return err
+}
+
+// Degraded reports whether a write-path fault has poisoned the DB,
+// returning the sticky error (wrapping ErrReadOnly and the first cause) or
+// nil. Reads remain valid while degraded; all mutations fail fast.
+func (db *DB) Degraded() error {
+	if p := db.degraded.Load(); p != nil {
+		return *p
+	}
 	return nil
 }
 
@@ -328,12 +402,17 @@ type beforeImage struct {
 	wasDirty bool
 }
 
-// Begin starts a read-write transaction, taking the writer lock.
+// Begin starts a read-write transaction, taking the writer lock. It fails
+// with ErrReadOnly once the DB is degraded.
 func (db *DB) Begin() (*Txn, error) {
 	db.mu.Lock()
 	if db.closed {
 		db.mu.Unlock()
 		return nil, ErrClosed
+	}
+	if err := db.Degraded(); err != nil {
+		db.mu.Unlock()
+		return nil, err
 	}
 	db.nextTxn++
 	tx := &Txn{db: db, id: db.nextTxn, before: make(map[PageID]beforeImage)}
@@ -355,7 +434,12 @@ func (tx *Txn) touch(p *Page) {
 }
 
 // Commit logs after-images of every touched page, appends a commit record,
-// syncs the WAL and releases the writer lock.
+// syncs the WAL and releases the writer lock. Any fault on this path —
+// WAL append, page re-read, fsync — restores the before-images (so reads
+// keep serving the last committed snapshot) and poisons the DB into sticky
+// degraded read-only mode: whether the transaction reached disk is
+// indeterminate, so no further writes may run until a restart's recovery
+// decides from durable state.
 func (tx *Txn) Commit() error {
 	if tx.done {
 		return ErrTxnDone
@@ -364,7 +448,23 @@ func (tx *Txn) Commit() error {
 	defer db.mu.Unlock()
 	tx.done = true
 	db.activeTx = nil
+	if err := tx.commitLocked(); err != nil {
+		tx.restorePages()
+		return db.poison("commit", err)
+	}
+	// Release writer pins only after the whole commit succeeded; the
+	// failure path above needs every touched page still resident.
+	for id := range tx.before {
+		if p := db.pager.cached(id); p != nil {
+			p.pins--
+		}
+	}
+	db.stats.Commits++
+	return nil
+}
 
+func (tx *Txn) commitLocked() error {
+	db := tx.db
 	// Spooled blob pages first: they carry no before-image and may have
 	// been evicted (and thus look clean), so they are logged
 	// unconditionally, re-read from disk if needed. A spooled page the
@@ -395,7 +495,6 @@ func (tx *Txn) Commit() error {
 		if err != nil {
 			return fmt.Errorf("vstore: commit: %w", err)
 		}
-		p.pins--
 		if !p.dirty {
 			continue
 		}
@@ -415,25 +514,18 @@ func (tx *Txn) Commit() error {
 			return err
 		}
 	}
-	db.stats.Commits++
 	return nil
 }
 
-// Abort restores every touched page's before-image and releases the
-// writer lock. Pages allocated by the transaction become unreachable file
-// garbage until the next reuse; this is a deliberate simplification.
-func (tx *Txn) Abort() {
-	if tx.done {
-		return
-	}
+// restorePages copies every touched page's before-image back into the
+// buffer pool and releases writer pins. Touched pages are pinned, so they
+// are guaranteed resident; cached() never hits the (possibly faulty) disk.
+func (tx *Txn) restorePages() {
 	db := tx.db
-	defer db.mu.Unlock()
-	tx.done = true
-	db.activeTx = nil
 	for id, img := range tx.before {
-		p, err := db.pager.get(id)
-		if err != nil {
-			continue // page fell out of cache unmodified on disk; nothing to undo
+		p := db.pager.cached(id)
+		if p == nil {
+			continue // never cached: unmodified on disk, nothing to undo
 		}
 		copy(p.data, img.data)
 		p.dirty = img.wasDirty
@@ -449,6 +541,20 @@ func (tx *Txn) Abort() {
 			p.pins = 0
 		}
 	}
+}
+
+// Abort restores every touched page's before-image and releases the
+// writer lock. Pages allocated by the transaction become unreachable file
+// garbage until the next reuse; this is a deliberate simplification.
+func (tx *Txn) Abort() {
+	if tx.done {
+		return
+	}
+	db := tx.db
+	defer db.mu.Unlock()
+	tx.done = true
+	db.activeTx = nil
+	tx.restorePages()
 	db.stats.Aborts++
 }
 

@@ -1,0 +1,199 @@
+package vstore
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+)
+
+// mustClean fails the test when Check finds problems.
+func mustClean(t *testing.T, db *DB) *CheckReport {
+	t.Helper()
+	rep, err := Check(db)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	if !rep.Clean() {
+		t.Fatalf("fsck found problems:\n  %s", strings.Join(rep.Problems, "\n  "))
+	}
+	return rep
+}
+
+// populate builds a table with enough variety to exercise every walk:
+// multi-page blobs, overflow text, deletes (free list), updates.
+func populateForCheck(t *testing.T, db *DB) *Table {
+	t.Helper()
+	tbl := createTestTable(t, db)
+	tx, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(1); i <= 8; i++ {
+		row := sampleRow(i, strings.Repeat("n", 300), i%200, bytes.Repeat([]byte{byte(i)}, int(i)*1500))
+		if _, err := tbl.Insert(tx, row); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	tx, err = db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.Delete(tx, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Update(tx, 5, sampleRow(5, "updated", 7, bytes.Repeat([]byte{0xAB}, 9000))); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func TestCheckCleanDB(t *testing.T) {
+	db := openTestDB(t, nil)
+	populateForCheck(t, db)
+	rep := mustClean(t, db)
+	if rep.Rows != 7 || rep.Tables != 1 {
+		t.Fatalf("rows=%d tables=%d, want 7/1", rep.Rows, rep.Tables)
+	}
+	// And again after a clean close/reopen cycle.
+	path := db.Path()
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Open(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	mustClean(t, db2)
+}
+
+// corruptPage flips bytes in the closed data file on the first page
+// matching pageType, at the given in-page offset, and returns whether a
+// page was found.
+func corruptPage(t *testing.T, path string, pageType uint8, mutate func(page []byte) bool) bool {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for off := 0; off+PageSize <= len(raw); off += PageSize {
+		pg := raw[off : off+PageSize]
+		if pg[offType] != pageType {
+			continue
+		}
+		if !mutate(pg) {
+			continue
+		}
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return true
+	}
+	return false
+}
+
+func TestCheckDetectsBlobCorruption(t *testing.T) {
+	db := openTestDB(t, nil)
+	populateForCheck(t, db)
+	path := db.Path()
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	found := corruptPage(t, path, pageTypeBlob, func(pg []byte) bool {
+		if getU16(pg[offBlobLen:]) == 0 {
+			return false
+		}
+		pg[blobDataOff] ^= 0xFF
+		return true
+	})
+	if !found {
+		t.Fatal("no blob page found to corrupt")
+	}
+	db2, err := Open(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	rep, err := Check(db2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Clean() {
+		t.Fatal("fsck missed a corrupted blob payload")
+	}
+	for _, p := range rep.Problems {
+		if strings.Contains(p, "CRC mismatch") {
+			return
+		}
+	}
+	t.Fatalf("no CRC problem reported, got: %v", rep.Problems)
+}
+
+func TestCheckDetectsBTreeDisorder(t *testing.T) {
+	db := openTestDB(t, nil)
+	populateForCheck(t, db)
+	path := db.Path()
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	found := corruptPage(t, path, pageTypeLeaf, func(pg []byte) bool {
+		if getU16(pg[offBTNKeys:]) < 2 {
+			return false
+		}
+		// Copy key[1] over key[0]: duplicates break strict ordering.
+		copy(pg[leafEntryOff:leafEntryOff+8], pg[leafEntryOff+leafEntrySize:leafEntryOff+leafEntrySize+8])
+		return true
+	})
+	if !found {
+		t.Fatal("no leaf page with >= 2 keys found")
+	}
+	db2, err := Open(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	rep, err := Check(db2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Clean() {
+		t.Fatal("fsck missed out-of-order btree keys")
+	}
+}
+
+func TestCheckDetectsFreeListTypeMismatch(t *testing.T) {
+	db := openTestDB(t, nil)
+	populateForCheck(t, db)
+	path := db.Path()
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The delete above pushed blob pages onto the free list; mislabel the
+	// head free page as a heap page.
+	found := corruptPage(t, path, pageTypeFree, func(pg []byte) bool {
+		pg[offType] = pageTypeHeap
+		return true
+	})
+	if !found {
+		t.Skip("no free page in file")
+	}
+	db2, err := Open(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	rep, err := Check(db2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Clean() {
+		t.Fatal("fsck missed a mistyped free-list page")
+	}
+}

@@ -3,7 +3,6 @@ package vstore
 import (
 	"container/list"
 	"fmt"
-	"os"
 	"sync"
 )
 
@@ -15,7 +14,7 @@ const DefaultCachePages = 1024
 // bookkeeping (cache map, LRU list, dirty flags) is additionally guarded
 // by its own mutex because concurrent readers both touch the LRU.
 type pager struct {
-	f *os.File
+	f File
 
 	mu        sync.Mutex
 	pageCount PageID // pages in the file (including meta page 0)
@@ -24,26 +23,47 @@ type pager struct {
 	lru       *list.List               // front = most recently used
 }
 
-func openPager(path string, cacheCap int) (*pager, error) {
+func openPager(fs VFS, path string, cacheCap int) (*pager, error) {
 	if cacheCap <= 0 {
 		cacheCap = DefaultCachePages
 	}
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	f, err := fs.OpenFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("vstore: open data file: %w", err)
 	}
-	st, err := f.Stat()
+	size, err := f.Size()
 	if err != nil {
-		f.Close()
+		_ = f.Close() // errvet:ignore open already failed
 		return nil, fmt.Errorf("vstore: stat data file: %w", err)
 	}
-	if st.Size()%PageSize != 0 {
-		f.Close()
-		return nil, fmt.Errorf("vstore: data file size %d not page aligned", st.Size())
+	if size == 0 {
+		// Freshly created (or empty): make the directory entry durable so
+		// the file cannot vanish on power loss after its contents are
+		// fsynced.
+		if err := fs.SyncDir(path); err != nil {
+			_ = f.Close() // errvet:ignore open already failed
+			return nil, err
+		}
+	}
+	if rem := size % PageSize; rem != 0 {
+		// A torn tail extension (e.g. ENOSPC or power loss mid-WriteAt
+		// while the file was being grown). The partial page can never be
+		// referenced: pages become reachable only after their full image
+		// is committed through the WAL, and replay re-extends the file as
+		// needed. Salvage by truncating back to the page boundary.
+		size -= rem
+		if err := f.Truncate(size); err != nil {
+			_ = f.Close() // errvet:ignore open already failed
+			return nil, fmt.Errorf("vstore: truncate torn data file tail: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			_ = f.Close() // errvet:ignore open already failed
+			return nil, fmt.Errorf("vstore: sync after tail salvage: %w", err)
+		}
 	}
 	return &pager{
 		f:         f,
-		pageCount: PageID(st.Size() / PageSize),
+		pageCount: PageID(size / PageSize),
 		cacheCap:  cacheCap,
 		cache:     make(map[PageID]*list.Element),
 		lru:       list.New(),
@@ -71,6 +91,9 @@ func (pg *pager) get(id PageID) (*Page, error) {
 	}
 	if id >= pg.pageCount {
 		return nil, fmt.Errorf("vstore: page %d beyond file end (%d pages)", id, pg.pageCount)
+	}
+	if pg.f == nil {
+		return nil, fmt.Errorf("vstore: read page %d: %w", id, ErrClosed)
 	}
 	p := &Page{id: id, data: make([]byte, PageSize)}
 	if _, err := pg.f.ReadAt(p.data, int64(id)*PageSize); err != nil {
@@ -147,11 +170,15 @@ func (pg *pager) extendDetached() PageID {
 }
 
 // writeDetached writes a detached (staged) page image at its slot.
-// os.File.WriteAt is safe for concurrent use and detached pages are
+// File.WriteAt is safe for concurrent use and detached pages are
 // invisible to the buffer pool, so no bookkeeping lock is needed; distinct
 // stagers always write distinct slots.
 func (pg *pager) writeDetached(p *Page) error {
-	if _, err := pg.f.WriteAt(p.data, int64(p.id)*PageSize); err != nil {
+	f := pg.f
+	if f == nil {
+		return fmt.Errorf("vstore: write staged page %d: %w", p.id, ErrClosed)
+	}
+	if _, err := f.WriteAt(p.data, int64(p.id)*PageSize); err != nil {
 		return fmt.Errorf("vstore: write staged page %d: %w", p.id, err)
 	}
 	return nil
@@ -159,6 +186,9 @@ func (pg *pager) writeDetached(p *Page) error {
 
 // writePage writes the page image at its slot and clears the dirty flag.
 func (pg *pager) writePage(p *Page) error {
+	if pg.f == nil {
+		return fmt.Errorf("vstore: write page %d: %w", p.id, ErrClosed)
+	}
 	if _, err := pg.f.WriteAt(p.data, int64(p.id)*PageSize); err != nil {
 		return fmt.Errorf("vstore: write page %d: %w", p.id, err)
 	}

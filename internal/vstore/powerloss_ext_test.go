@@ -1,0 +1,355 @@
+package vstore_test
+
+import (
+	"bytes"
+	"testing"
+
+	"cbvr/internal/vstore"
+	"cbvr/internal/vstore/faultfs"
+)
+
+// The power-loss sweep drives a scripted workload — create, inserts,
+// update, delete, checkpoint, staged-blob adoption — and re-runs it once
+// per recorded fault point: a power cut at every sync, a torn write at
+// every WAL/page write, an I/O error at every op, ENOSPC/short writes at
+// every data write. After every fault the store must reopen, pass fsck,
+// and hold exactly the state after some committed step prefix P with
+// P >= the number of steps whose commit had returned success (durability)
+// and P <= that +1 (a commit whose records reached the platter but whose
+// success the process never observed).
+
+type wlState map[int64][]byte // pk -> expected payload
+
+// wlSteps returns the scripted workload. Each step runs one transaction
+// (or checkpoint) and mutates the model to the state a successful commit
+// leaves behind.
+func wlSteps() []struct {
+	name  string
+	run   func(db *vstore.DB, tbl **vstore.Table) error
+	model func(m wlState)
+} {
+	payload := func(b byte, n int) []byte { return bytes.Repeat([]byte{b}, n) }
+	inTxn := func(db *vstore.DB, fn func(tx *vstore.Txn) error) error {
+		tx, err := db.Begin()
+		if err != nil {
+			return err
+		}
+		if err := fn(tx); err != nil {
+			tx.Abort()
+			return err
+		}
+		return tx.Commit()
+	}
+	return []struct {
+		name  string
+		run   func(db *vstore.DB, tbl **vstore.Table) error
+		model func(m wlState)
+	}{
+		{
+			name: "create-table",
+			run: func(db *vstore.DB, tbl **vstore.Table) error {
+				return inTxn(db, func(tx *vstore.Txn) error {
+					t, err := db.CreateTable(tx, faultSchema())
+					if err != nil {
+						return err
+					}
+					*tbl = t
+					return nil
+				})
+			},
+			model: func(m wlState) {},
+		},
+		{
+			name: "insert-1",
+			run: func(db *vstore.DB, tbl **vstore.Table) error {
+				return inTxn(db, func(tx *vstore.Txn) error {
+					_, err := (*tbl).Insert(tx, faultRow(1, "one", 10, payload(0xA1, 6000)))
+					return err
+				})
+			},
+			model: func(m wlState) { m[1] = payload(0xA1, 6000) },
+		},
+		{
+			name: "insert-2",
+			run: func(db *vstore.DB, tbl **vstore.Table) error {
+				return inTxn(db, func(tx *vstore.Txn) error {
+					_, err := (*tbl).Insert(tx, faultRow(2, "two", 20, payload(0xB2, 9000)))
+					return err
+				})
+			},
+			model: func(m wlState) { m[2] = payload(0xB2, 9000) },
+		},
+		{
+			name: "update-1",
+			run: func(db *vstore.DB, tbl **vstore.Table) error {
+				return inTxn(db, func(tx *vstore.Txn) error {
+					return (*tbl).Update(tx, 1, faultRow(1, "one-v2", 11, payload(0xC3, 5000)))
+				})
+			},
+			model: func(m wlState) { m[1] = payload(0xC3, 5000) },
+		},
+		{
+			name: "delete-2",
+			run: func(db *vstore.DB, tbl **vstore.Table) error {
+				return inTxn(db, func(tx *vstore.Txn) error {
+					_, err := (*tbl).Delete(tx, 2)
+					return err
+				})
+			},
+			model: func(m wlState) { delete(m, 2) },
+		},
+		{
+			name: "checkpoint",
+			run: func(db *vstore.DB, tbl **vstore.Table) error {
+				return db.Checkpoint()
+			},
+			model: func(m wlState) {},
+		},
+		{
+			name: "insert-3-reuse",
+			run: func(db *vstore.DB, tbl **vstore.Table) error {
+				return inTxn(db, func(tx *vstore.Txn) error {
+					_, err := (*tbl).Insert(tx, faultRow(3, "three", 30, payload(0xD4, 7000)))
+					return err
+				})
+			},
+			model: func(m wlState) { m[3] = payload(0xD4, 7000) },
+		},
+		{
+			name: "staged-adopt-4",
+			run: func(db *vstore.DB, tbl **vstore.Table) error {
+				w, err := db.NewStagedBlobWriter()
+				if err != nil {
+					return err
+				}
+				if _, err := w.Write(payload(0xE5, 8000)); err != nil {
+					w.Discard()
+					return err
+				}
+				ref, err := w.Close()
+				if err != nil {
+					w.Discard()
+					return err
+				}
+				err = inTxn(db, func(tx *vstore.Txn) error {
+					if err := tx.AdoptStaged(w); err != nil {
+						return err
+					}
+					row := faultRow(4, "four", 40, nil)
+					row[3] = vstore.BlobRefV(ref)
+					_, err := (*tbl).Insert(tx, row)
+					return err
+				})
+				if err != nil {
+					w.Discard()
+				}
+				return err
+			},
+			model: func(m wlState) { m[4] = payload(0xE5, 8000) },
+		},
+	}
+}
+
+// runWorkload executes the script over fs, returning how many steps fully
+// completed before the first error (which, under an injected fault, is the
+// crash point).
+func runWorkload(fs *faultfs.FS) (completed int, firstErr error) {
+	db, err := vstore.Open("sweep.db", &vstore.Options{FS: fs, CachePages: 8})
+	if err != nil {
+		return 0, err
+	}
+	var tbl *vstore.Table
+	for _, s := range wlSteps() {
+		if err := s.run(db, &tbl); err != nil {
+			_ = db.Close() // best effort: handles may be stale or degraded
+			return completed, err
+		}
+		completed++
+	}
+	return completed, db.Close()
+}
+
+// expectedStates returns the model state after each step prefix:
+// states[P] is the state once steps[0:P] have committed.
+func expectedStates() []wlState {
+	steps := wlSteps()
+	states := make([]wlState, len(steps)+1)
+	cur := wlState{}
+	states[0] = wlState{}
+	for i, s := range steps {
+		s.model(cur)
+		snap := wlState{}
+		for k, v := range cur {
+			snap[k] = v
+		}
+		states[i+1] = snap
+	}
+	return states
+}
+
+// matchState reports every step prefix the reopened DB's state could
+// correspond to. Adjacent prefixes can be indistinguishable (checkpoint
+// changes no logical state), so the result is a set, not a single index.
+// Prefix 0 presents as "no table" (nothing ever became durable).
+func matchState(db *vstore.DB, states []wlState) []int {
+	tbl, err := db.Table("T")
+	if err != nil {
+		return []int{0}
+	}
+	n, err := tbl.Count(nil)
+	if err != nil {
+		return nil
+	}
+	// The table exists, so step 1 committed: only prefixes >= 1 qualify
+	// (prefix 1 is an empty table, distinct from prefix 0's absent table).
+	var matches []int
+	for p := 1; p < len(states); p++ {
+		want := states[p]
+		if len(want) != n {
+			continue
+		}
+		ok := true
+		for pk, wantPayload := range want {
+			row, found, err := tbl.Get(nil, pk)
+			if err != nil || !found {
+				ok = false
+				break
+			}
+			var got []byte
+			if !row[3].Null && !row[3].Blob.IsZero() {
+				got, err = db.ReadBlob(nil, row[3].Blob)
+				if err != nil {
+					ok = false
+					break
+				}
+			}
+			if !bytes.Equal(got, wantPayload) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			matches = append(matches, p)
+		}
+	}
+	return matches
+}
+
+// sweepTrial re-runs the workload with `act` armed at op index `at`, then
+// reopens, fscks, matches the surviving state against the committed-prefix
+// ladder and proves the store is still writable.
+func sweepTrial(t *testing.T, at int, act faultfs.Action, label string) {
+	t.Helper()
+	fs := faultfs.New()
+	fired := false
+	fs.SetInjector(func(op faultfs.Op) faultfs.Action {
+		if !fired && op.Index == at {
+			fired = true
+			return act
+		}
+		return faultfs.ActNone
+	})
+	completed, _ := runWorkload(fs)
+	fs.SetInjector(nil)
+
+	db, err := vstore.Open("sweep.db", &vstore.Options{FS: fs, CachePages: 8})
+	if err != nil {
+		t.Fatalf("%s@%d: reopen failed: %v", label, at, err)
+	}
+	defer db.Close()
+	rep, err := vstore.Check(db)
+	if err != nil {
+		t.Fatalf("%s@%d: fsck: %v", label, at, err)
+	}
+	if !rep.Clean() {
+		t.Fatalf("%s@%d: fsck problems: %v", label, at, rep.Problems)
+	}
+	matches := matchState(db, expectedStates())
+	if len(matches) == 0 {
+		t.Fatalf("%s@%d: surviving state matches no committed prefix (completed=%d)", label, at, completed)
+	}
+	ok := false
+	for _, p := range matches {
+		// All steps whose commit returned success must survive; at most the
+		// one in-flight step may additionally have become durable.
+		if p >= completed && p <= completed+1 {
+			ok = true
+		}
+	}
+	if !ok {
+		t.Fatalf("%s@%d: survived prefixes %v, but %d steps had committed", label, at, matches, completed)
+	}
+	// Salvaged store must accept new writes.
+	if tbl, err := db.Table("T"); err == nil {
+		if err := commitRow(t, db, tbl, 99, []byte("probe")); err != nil {
+			t.Fatalf("%s@%d: probe commit on salvaged store: %v", label, at, err)
+		}
+	}
+}
+
+// TestPowerLossSweep is the fault matrix: it records the workload's op
+// trace once, then replays it once per fault point.
+func TestPowerLossSweep(t *testing.T) {
+	// Recording pass: capture every op the clean workload performs.
+	fs := faultfs.New()
+	var ops []faultfs.Op
+	fs.SetInjector(func(op faultfs.Op) faultfs.Action {
+		ops = append(ops, op)
+		return faultfs.ActNone
+	})
+	completed, err := runWorkload(fs)
+	fs.SetInjector(nil)
+	if err != nil || completed != len(wlSteps()) {
+		t.Fatalf("clean workload: completed=%d err=%v", completed, err)
+	}
+	db, err := vstore.Open("sweep.db", &vstore.Options{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	finalMatches := matchState(db, expectedStates())
+	finalOK := false
+	for _, p := range finalMatches {
+		if p == len(wlSteps()) {
+			finalOK = true
+		}
+	}
+	if !finalOK {
+		t.Fatalf("clean workload final state matches prefixes %v", finalMatches)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var cuts, torn, errs, nospc int
+	for _, op := range ops {
+		switch op.Kind {
+		case faultfs.OpSync, faultfs.OpSyncDir:
+			cuts++
+			sweepTrial(t, op.Index, faultfs.ActPowerCut, "powercut")
+			errs++
+			sweepTrial(t, op.Index, faultfs.ActErr, "syncfail")
+		case faultfs.OpWrite:
+			torn++
+			sweepTrial(t, op.Index, faultfs.ActTornWrite, "torn")
+			errs++
+			sweepTrial(t, op.Index, faultfs.ActErr, "ioerr")
+			if op.Index%2 == 0 {
+				nospc++
+				sweepTrial(t, op.Index, faultfs.ActENOSPC, "enospc")
+			} else {
+				nospc++
+				sweepTrial(t, op.Index, faultfs.ActShortWrite, "shortwrite")
+			}
+		case faultfs.OpRead, faultfs.OpTruncate:
+			errs++
+			sweepTrial(t, op.Index, faultfs.ActErr, "ioerr")
+		}
+	}
+	total := cuts + torn + errs + nospc
+	// CI greps for this line: silent coverage loss must be visible.
+	t.Logf("power-loss sweep fault points: %d (power cuts %d, torn writes %d, io/sync errors %d, enospc/short %d over %d recorded ops)",
+		total, cuts, torn, errs, nospc, len(ops))
+	if total < 100 {
+		t.Fatalf("suspiciously small fault matrix: %d points", total)
+	}
+}

@@ -59,6 +59,7 @@ func TestRecoveryCommittedSurvivesCrash(t *testing.T) {
 			t.Fatalf("blob %d corrupted after recovery", pk)
 		}
 	}
+	mustClean(t, db2)
 }
 
 // TestRecoveryUncommittedLost: work in a transaction that never committed
@@ -98,6 +99,7 @@ func TestRecoveryUncommittedLost(t *testing.T) {
 	if _, ok, _ := tbl2.Get(nil, pk1); !ok {
 		t.Error("committed baseline lost")
 	}
+	mustClean(t, db2)
 }
 
 // TestRecoveryTornTail: garbage appended to the WAL (torn final record)
@@ -131,6 +133,7 @@ func TestRecoveryTornTail(t *testing.T) {
 	if _, ok, _ := tbl2.Get(nil, pk); !ok {
 		t.Error("committed row lost to torn tail")
 	}
+	mustClean(t, db2)
 }
 
 // TestAbortRestoresState: an aborted transaction leaves no trace, and the
@@ -212,6 +215,7 @@ func TestCheckpointTruncatesWAL(t *testing.T) {
 	if _, ok, _ := tbl2.Get(nil, pk); !ok {
 		t.Error("checkpointed row lost")
 	}
+	mustClean(t, db2)
 }
 
 // TestCrashMidStreamOfCommits: several committed transactions, crash, all
@@ -267,6 +271,7 @@ func TestCrashMidStreamOfCommits(t *testing.T) {
 			t.Fatalf("blob of %d unreadable: %v", pk, err)
 		}
 	}
+	mustClean(t, db2)
 }
 
 // TestSmallCacheEvictionCorrectness: a tiny buffer pool forces eviction
@@ -296,6 +301,7 @@ func TestSmallCacheEvictionCorrectness(t *testing.T) {
 			t.Fatalf("blob %d wrong under eviction pressure", pk)
 		}
 	}
+	mustClean(t, db)
 }
 
 func TestBeginAfterClose(t *testing.T) {

@@ -1,0 +1,73 @@
+package vstore
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// VFS abstracts the filesystem operations the storage engine performs, so
+// tests can substitute a fault-injecting implementation (see
+// internal/vstore/faultfs) for the real OS filesystem. The engine only
+// ever opens files read-write, creating them if absent, so OpenFile takes
+// no flags.
+type VFS interface {
+	// OpenFile opens the file at path for read/write, creating it if it
+	// does not exist.
+	OpenFile(path string) (File, error)
+	// SyncDir fsyncs the directory containing path, making the directory
+	// entry of a freshly created file durable. A created-but-unsynced
+	// entry can vanish on power loss even if the file's own contents were
+	// fsynced.
+	SyncDir(path string) error
+}
+
+// File is the per-file surface the pager and WAL write through. All
+// methods must be safe for concurrent use (staged blob writers call
+// WriteAt outside the DB writer lock, matching os.File semantics).
+type File interface {
+	io.ReaderAt
+	io.WriterAt
+	Sync() error
+	Truncate(size int64) error
+	Close() error
+	// Size returns the current file length in bytes.
+	Size() (int64, error)
+}
+
+// OSFS is the production VFS backed by the real filesystem.
+type OSFS struct{}
+
+func (OSFS) OpenFile(path string) (File, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return osFile{f}, nil
+}
+
+func (OSFS) SyncDir(path string) error {
+	d, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return fmt.Errorf("vstore: open dir for sync: %w", err)
+	}
+	err = d.Sync()
+	cerr := d.Close()
+	if err != nil {
+		return fmt.Errorf("vstore: sync dir: %w", err)
+	}
+	return cerr
+}
+
+type osFile struct {
+	*os.File
+}
+
+func (f osFile) Size() (int64, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
-	"os"
 )
 
 // The write-ahead log is redo-only with full-page after-images: every
@@ -41,22 +40,31 @@ type walRecord struct {
 
 // wal is the append-only log writer.
 type wal struct {
-	f       *os.File
+	f       File
 	nextLSN uint64
 	size    int64
 }
 
-func openWAL(path string) (*wal, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+func openWAL(fs VFS, path string) (*wal, error) {
+	f, err := fs.OpenFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("vstore: open wal: %w", err)
 	}
-	st, err := f.Stat()
+	size, err := f.Size()
 	if err != nil {
-		f.Close()
+		_ = f.Close() // errvet:ignore open already failed
 		return nil, fmt.Errorf("vstore: stat wal: %w", err)
 	}
-	return &wal{f: f, nextLSN: 1, size: st.Size()}, nil
+	if size == 0 {
+		// Make the directory entry of a freshly created log durable: a
+		// committed transaction is only as durable as the WAL file's
+		// existence.
+		if err := fs.SyncDir(path); err != nil {
+			_ = f.Close() // errvet:ignore open already failed
+			return nil, err
+		}
+	}
+	return &wal{f: f, nextLSN: 1, size: size}, nil
 }
 
 func (w *wal) close() error {
@@ -70,6 +78,11 @@ func (w *wal) close() error {
 
 // appendRecord writes one record at the current tail and returns its LSN.
 func (w *wal) appendRecord(txnID uint64, kind uint8, pageID PageID, image []byte) (uint64, error) {
+	if w.f == nil {
+		// The file was abandoned mid-flight (SimulateCrash); fail like a
+		// write to a closed descriptor would.
+		return 0, fmt.Errorf("vstore: append wal record: %w", ErrClosed)
+	}
 	lsn := w.nextLSN
 	w.nextLSN++
 	bodyLen := 8 + 8 + 1
@@ -96,6 +109,9 @@ func (w *wal) appendRecord(txnID uint64, kind uint8, pageID PageID, image []byte
 
 // sync makes all appended records durable.
 func (w *wal) sync() error {
+	if w.f == nil {
+		return fmt.Errorf("vstore: sync wal: %w", ErrClosed)
+	}
 	if err := w.f.Sync(); err != nil {
 		return fmt.Errorf("vstore: sync wal: %w", err)
 	}
@@ -104,6 +120,9 @@ func (w *wal) sync() error {
 
 // truncate empties the log after a checkpoint.
 func (w *wal) truncate() error {
+	if w.f == nil {
+		return fmt.Errorf("vstore: truncate wal: %w", ErrClosed)
+	}
 	if err := w.f.Truncate(0); err != nil {
 		return fmt.Errorf("vstore: truncate wal: %w", err)
 	}
@@ -117,10 +136,8 @@ func (w *wal) truncate() error {
 // readAll scans the log from the start, returning complete records up to
 // the first torn/corrupt entry (which is discarded, as are any following
 // bytes).
-func readWAL(f *os.File) ([]walRecord, error) {
-	if _, err := f.Seek(0, io.SeekStart); err != nil {
-		return nil, fmt.Errorf("vstore: seek wal: %w", err)
-	}
+func (w *wal) readAll() ([]walRecord, error) {
+	f := io.NewSectionReader(w.f, 0, w.size)
 	var out []walRecord
 	hdr := make([]byte, walHeaderLen)
 	for {
