@@ -147,6 +147,12 @@ func (s *System) IngestFrames(name string, frames []*Image, fps int) (*IngestRes
 	return s.eng.IngestFrames(name, frames, fps)
 }
 
+// IngestFramesCtx is IngestFrames under a context: cancellation aborts
+// within one frame and commits nothing for the in-flight video.
+func (s *System) IngestFramesCtx(ctx context.Context, name string, frames []*Image, fps int) (*IngestResult, error) {
+	return s.eng.IngestFramesCtx(ctx, name, frames, fps)
+}
+
 // DeleteVideo removes a video and its key frames (the paper's
 // administrator role).
 func (s *System) DeleteVideo(videoID int64) error { return s.eng.DeleteVideo(videoID) }
@@ -192,6 +198,12 @@ func (s *System) SearchCtx(ctx context.Context, query *Image, opts SearchOptions
 // dynamic-programming sequence alignment over key-frame descriptors.
 func (s *System) SearchVideo(queryFrames []*Image, opts SearchOptions) ([]VideoMatch, error) {
 	return s.eng.SearchVideo(queryFrames, opts)
+}
+
+// SearchVideoCtx is SearchVideo under a context: cancellation stops the
+// ranking between per-video alignments and returns the context's error.
+func (s *System) SearchVideoCtx(ctx context.Context, queryFrames []*Image, opts SearchOptions) ([]VideoMatch, error) {
+	return s.eng.SearchVideoCtx(ctx, queryFrames, opts)
 }
 
 // EncodeVideo packs frames into the CVJ container format (the system's

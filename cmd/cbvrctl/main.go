@@ -31,6 +31,8 @@ import (
 	"cbvr/internal/features"
 	"cbvr/internal/synthvid"
 	"cbvr/internal/vstore"
+	"cbvr/tools/cbvrvet/analyzers"
+	"cbvr/tools/cbvrvet/driver"
 )
 
 func main() {
@@ -50,7 +52,7 @@ func main() {
 	case "init":
 		err = cmdInit(args)
 	case "gen":
-		err = cmdGen(args)
+		err = cmdGen(ctx, args)
 	case "ingest":
 		err = cmdIngest(ctx, args)
 	case "list":
@@ -58,7 +60,7 @@ func main() {
 	case "query":
 		err = cmdQuery(ctx, args)
 	case "queryvid":
-		err = cmdQueryVid(args)
+		err = cmdQueryVid(ctx, args)
 	case "describe":
 		err = cmdDescribe(args)
 	case "export":
@@ -71,6 +73,10 @@ func main() {
 		err = cmdStats(args)
 	case "fsck":
 		err = cmdFsck(args)
+	case "vet":
+		// Hidden developer command: run the cbvrvet static-analysis suite
+		// over the repository (equivalent to `go run ./tools/cbvrvet`).
+		err = cmdVet(args)
 	default:
 		usage()
 		os.Exit(2)
@@ -106,7 +112,7 @@ func cmdInit(args []string) error {
 	return nil
 }
 
-func cmdGen(args []string) error {
+func cmdGen(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("gen", flag.ExitOnError)
 	db := fs.String("db", "", "database path")
 	videos := fs.Int("videos", 2, "videos per category")
@@ -120,8 +126,11 @@ func cmdGen(args []string) error {
 	}
 	defer sys.Close()
 	corpus := cbvr.GenerateCorpus(*videos, cbvr.VideoConfig{Frames: *frames, Shots: *shots, Seed: *seed})
+	// Each ingest runs under the signal context: ^C finishes nothing
+	// half-way — completed videos stay committed, the in-flight one
+	// aborts clean.
 	for name, imgs := range corpus {
-		res, err := sys.IngestFrames(name, imgs, 12)
+		res, err := sys.IngestFramesCtx(ctx, name, imgs, 12)
 		if err != nil {
 			return err
 		}
@@ -239,7 +248,7 @@ func cmdQuery(ctx context.Context, args []string) error {
 	return nil
 }
 
-func cmdQueryVid(args []string) error {
+func cmdQueryVid(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("queryvid", flag.ExitOnError)
 	db := fs.String("db", "", "database path")
 	file := fs.String("file", "", "query CVJ container")
@@ -262,7 +271,7 @@ func cmdQueryVid(args []string) error {
 		return err
 	}
 	defer sys.Close()
-	matches, err := sys.SearchVideo(frames, cbvr.SearchOptions{K: *k})
+	matches, err := sys.SearchVideoCtx(ctx, frames, cbvr.SearchOptions{K: *k})
 	if err != nil {
 		return err
 	}
@@ -465,5 +474,25 @@ func cmdFsck(args []string) error {
 		return fmt.Errorf("%d problem(s) found", len(rep.Problems))
 	}
 	fmt.Println("ok")
+	return nil
+}
+
+// cmdVet runs the cbvrvet static-analysis suite in-process over the
+// given package patterns (default ./...). Deliberately absent from
+// usage(): it is a developer and CI convenience, not part of the
+// paper's administrator/user surface. Equivalent to
+// `go run ./tools/cbvrvet ./...`.
+func cmdVet(args []string) error {
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	n, err := driver.Run(os.Stderr, "", args, analyzers.All())
+	if err != nil {
+		return err
+	}
+	if n > 0 {
+		return fmt.Errorf("%d finding(s)", n)
+	}
+	fmt.Println("vet: clean")
 	return nil
 }

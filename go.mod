@@ -1,3 +1,3 @@
 module cbvr
 
-go 1.21
+go 1.22

@@ -126,6 +126,11 @@ type IngestResult struct {
 // sharded range index for §4.2 bucket pruning. Search fans one worker out
 // per shard; ingest and delete update the owning shard under the engine
 // write lock. See DESIGN.md ("Sharded search pipeline").
+// Lock order (enforced by tools/cbvrvet lockorder): the engine lock is
+// outermost; the raster pool's free-list lock is a leaf taken by the
+// decode workers and never held across engine state.
+//
+//cbvrvet:lockorder Engine.mu < rasterPool.mu
 type Engine struct {
 	store   *catalog.Store
 	opts    Options
@@ -284,6 +289,14 @@ func (e *Engine) workers() int {
 // that fails JPEG encoding aborts here, deterministically naming the first
 // failing frame, before any database transaction begins.
 func (e *Engine) IngestFrames(name string, frames []*imaging.Image, fps int) (*IngestResult, error) {
+	return e.IngestFramesCtx(context.Background(), name, frames, fps)
+}
+
+// IngestFramesCtx is IngestFrames under a request context: the ingest's
+// decode loop checks cancellation between frames (the encode itself is
+// in-memory and quick), so aborting a corpus load stops within one frame
+// and commits nothing for the in-flight video.
+func (e *Engine) IngestFramesCtx(ctx context.Context, name string, frames []*imaging.Image, fps int) (*IngestResult, error) {
 	if len(frames) == 0 {
 		return nil, errors.New("core: no frames to ingest")
 	}
@@ -291,7 +304,7 @@ func (e *Engine) IngestFrames(name string, frames []*imaging.Image, fps int) (*I
 	if err != nil {
 		return nil, fmt.Errorf("core: ingest %q: %w", name, err)
 	}
-	return e.IngestVideo(name, container)
+	return e.ingestStream(ctx, name, bytes.NewReader(container))
 }
 
 // IngestVideo runs the full ingest pipeline on an in-memory CVJ container.
@@ -805,6 +818,8 @@ var fixedKindScale = map[features.Kind]float64{
 // kernels the frame scan uses, so the DTW video search and the
 // best-single-frame ablation pay no interface dispatch either. A kind
 // missing on either side is skipped, mirroring the Set-based form.
+//
+//cbvrvet:noalloc
 func fixedScaleDistancePacked(pq *PackedQuery, ar *shardArena, slot int32) float64 {
 	var sum float64
 	n := 0

@@ -235,3 +235,48 @@ func TestReindexCtxCancelled(t *testing.T) {
 		}
 	}
 }
+
+// TestIngestFramesCtxCancelled pins the new pre-encoded ingest entry
+// point: a cancelled context must surface context.Canceled and leave
+// nothing committed, and the same engine must still ingest normally
+// afterwards.
+func TestIngestFramesCtxCancelled(t *testing.T) {
+	eng := openTestEngine(t)
+	v := genVideo(synthvid.Cartoon, 61)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := eng.IngestFramesCtx(ctx, "doomed", v.Frames, v.FPS); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled IngestFramesCtx returned %v, want context.Canceled", err)
+	}
+	vids, err := eng.Store().ListVideos(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vids) != 0 {
+		t.Fatalf("cancelled ingest committed %d video(s)", len(vids))
+	}
+	if _, err := eng.IngestFramesCtx(context.Background(), "alive", v.Frames, v.FPS); err != nil {
+		t.Fatalf("live ingest after cancelled one: %v", err)
+	}
+}
+
+// TestSearchVideoCtxCancelled verifies the clip-query path honors
+// cancellation: context error out, no partial ranking, and the engine
+// keeps serving live queries.
+func TestSearchVideoCtxCancelled(t *testing.T) {
+	eng := openTestEngine(t)
+	ingest(t, eng, "clip", synthvid.Cartoon, 71)
+	q := genVideo(synthvid.Cartoon, 71).Frames[:3]
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := eng.SearchVideoCtx(ctx, q, SearchOptions{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled SearchVideoCtx returned %v, want context.Canceled", err)
+	}
+	got, err := eng.SearchVideoCtx(context.Background(), q, SearchOptions{})
+	if err != nil {
+		t.Fatalf("live clip search after cancelled one: %v", err)
+	}
+	if len(got) == 0 {
+		t.Fatal("live clip search returned nothing")
+	}
+}

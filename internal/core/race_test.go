@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -79,7 +80,7 @@ func TestConcurrentSearchIngestDelete(t *testing.T) {
 				return
 			}
 			if i%5 == 0 {
-				if _, err := eng.searchVideoSets(clipSets, SearchOptions{K: 3}); err != nil {
+				if _, err := eng.searchVideoSets(context.Background(), clipSets, SearchOptions{K: 3}); err != nil {
 					errCh <- err
 					return
 				}

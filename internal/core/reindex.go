@@ -105,6 +105,7 @@ func (e *Engine) ReindexVideoCtx(ctx context.Context, videoID int64) (*ReindexRe
 	if err != nil {
 		return fail(err)
 	}
+	//cbvrvet:ignore ctxloop the commit section is deliberately uninterruptible: past the last cancellation point above, the transaction must fully apply or fully abort
 	for i, w := range works {
 		updated := *w.row
 		updated.Image = nil // keep the stored IMAGE chain

@@ -114,6 +114,8 @@ func (s *scanScratch) release() {
 // the number of candidate×kind distances produced and performs zero
 // allocations — BenchmarkScanArena measures exactly this loop. dist must
 // hold len(kinds) × CacheSize values.
+//
+//cbvrvet:noalloc
 func (e *Engine) ScanArenaInto(pq *PackedQuery, dist []float64) (int, error) {
 	if err := e.warmCache(); err != nil {
 		return 0, err

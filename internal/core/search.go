@@ -512,6 +512,17 @@ func (e *Engine) SearchWithSetReference(qset *features.Set, qbucket rangeindex.R
 // key-frame sequence, with per-pair cost the equally weighted sum of
 // fixed-scale feature distances.
 func (e *Engine) SearchVideo(queryFrames []*imaging.Image, opt SearchOptions) ([]VideoMatch, error) {
+	return e.SearchVideoCtx(context.Background(), queryFrames, opt)
+}
+
+// SearchVideoCtx is SearchVideo under a request context: cancellation is
+// checked before query extraction and between per-video DTW alignments,
+// so an abandoned clip query stops within one alignment's worth of work
+// and returns the context's error instead of a partial ranking.
+func (e *Engine) SearchVideoCtx(ctx context.Context, queryFrames []*imaging.Image, opt SearchOptions) ([]VideoMatch, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := e.warmCache(); err != nil {
 		return nil, err
 	}
@@ -527,15 +538,17 @@ func (e *Engine) SearchVideo(queryFrames []*imaging.Image, opt SearchOptions) ([
 	parallelFor(len(kfs), e.workers(), func(i int) {
 		qsets[i] = features.ExtractAllShared(kfs[i].Image)
 	})
-	return e.searchVideoSets(qsets, opt)
+	return e.searchVideoSets(ctx, qsets, opt)
 }
 
 // searchVideoSets aligns pre-extracted query descriptor sequences against
 // every stored video, one DTW alignment per worker at a time, then
 // heap-selects the K closest videos. The DTW cost function reads the
 // stored side straight out of the arena columns through the batch
-// kernels' pair form.
-func (e *Engine) searchVideoSets(qsets []*features.Set, opt SearchOptions) ([]VideoMatch, error) {
+// kernels' pair form. Cancellation is checked before each alignment;
+// on cancellation the context's error is returned, never a partial
+// ranking.
+func (e *Engine) searchVideoSets(ctx context.Context, qsets []*features.Set, opt SearchOptions) ([]VideoMatch, error) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 
@@ -565,7 +578,15 @@ func (e *Engine) searchVideoSets(qsets []*features.Set, opt SearchOptions) ([]Vi
 	if workers <= 0 {
 		workers = e.workers()
 	}
+	var cancelled atomic.Bool
 	parallelFor(len(vids), workers, func(i int) {
+		if cancelled.Load() {
+			return
+		}
+		if ctx.Err() != nil {
+			cancelled.Store(true)
+			return
+		}
 		ens := byVideo[vids[i]]
 		sort.Slice(ens, func(a, b int) bool { return ens[a].frameIdx < ens[b].frameIdx })
 		// Resolve each stored frame's arena once, not per DTW cell.
@@ -578,6 +599,9 @@ func (e *Engine) searchVideoSets(qsets []*features.Set, opt SearchOptions) ([]Vi
 		}
 		dists[i] = similarity.DTW(len(qsets), len(ens), cost)
 	})
+	if cancelled.Load() {
+		return nil, ctx.Err()
+	}
 	return e.selectVideos(vids, dists, opt.K), nil
 }
 

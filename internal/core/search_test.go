@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"os"
@@ -254,7 +255,7 @@ func TestVideoSearchDeterministicAcrossWorkers(t *testing.T) {
 	var refBest []VideoMatch
 	for _, workers := range []int{1, 2, 0} {
 		opt := SearchOptions{K: 0, Workers: workers}
-		dtw, err := f.eng.searchVideoSets(qsets, opt)
+		dtw, err := f.eng.searchVideoSets(context.Background(), qsets, opt)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -24,6 +24,8 @@ import "math"
 // of the packed column col (row r occupies col[r*stride:(r+1)*stride]).
 // out must have len(rows) capacity; rows may address any subset of the
 // column in any order.
+//
+//cbvrvet:noalloc
 func BatchDistance(kind Kind, q, col []float64, rows []int32, out []float64) {
 	switch kind {
 	case KindHistogram:
@@ -49,6 +51,8 @@ func BatchDistance(kind Kind, q, col []float64, rows []int32, out []float64) {
 // (each len Stride(kind)). It is the single-pair form of BatchDistance,
 // used by the fixed-scale fusion in DTW video search and the
 // best-single-frame ablation.
+//
+//cbvrvet:noalloc
 func PairDistance(kind Kind, a, b []float64) float64 {
 	switch kind {
 	case KindHistogram:
@@ -73,6 +77,8 @@ func PairDistance(kind Kind, a, b []float64) float64 {
 // batchKernel sweeps the selected column rows through a row kernel. The
 // stride is len(q); the per-row subslice is capped so the row functions'
 // reslices keep every index in bounds-checked-once territory.
+//
+//cbvrvet:noalloc
 func batchKernel(q, col []float64, rows []int32, out []float64, row func(q, r []float64) float64) {
 	stride := len(q)
 	for i, s := range rows {
@@ -84,18 +90,24 @@ func batchKernel(q, col []float64, rows []int32, out []float64, row func(q, r []
 // BatchL1 computes out[i] = the L1 distance between q and row rows[i] of
 // col (stride len(q)). Generic building block; the histogram and
 // correlogram kernels reuse its row form with their own scaling.
+//
+//cbvrvet:noalloc
 func BatchL1(q, col []float64, rows []int32, out []float64) {
 	batchKernel(q, col, rows, out, l1Row)
 }
 
 // BatchL2 computes out[i] = the L2 distance between q and row rows[i] of
 // col (stride len(q)). The Gabor kernel is exactly this at stride 60.
+//
+//cbvrvet:noalloc
 func BatchL2(q, col []float64, rows []int32, out []float64) {
 	batchKernel(q, col, rows, out, l2Row)
 }
 
 // l1Row sums |q[i]-r[i]| in ascending index order. The reslice of r to
 // len(q) eliminates the bounds check on r[i] inside the loop.
+//
+//cbvrvet:noalloc
 func l1Row(q, r []float64) float64 {
 	r = r[:len(q)]
 	var sum float64
@@ -107,6 +119,8 @@ func l1Row(q, r []float64) float64 {
 
 // l2Row accumulates squared differences in ascending index order, then
 // takes one square root.
+//
+//cbvrvet:noalloc
 func l2Row(q, r []float64) float64 {
 	r = r[:len(q)]
 	var sum float64
@@ -120,6 +134,8 @@ func l2Row(q, r []float64) float64 {
 // histRow is ColorHistogram.DistanceTo over packed vectors: element 0 is
 // the histogram mass (the degenerate empty-histogram rule), elements
 // 1..256 the bin probabilities compared by L1.
+//
+//cbvrvet:noalloc
 func histRow(q, r []float64) float64 {
 	if q[0] == 0 || r[0] == 0 {
 		if q[0] == r[0] {
@@ -132,6 +148,8 @@ func histRow(q, r []float64) float64 {
 
 // glcmRow is GLCM.DistanceTo over packed vectors: per-statistic scaled
 // differences, squared and summed in vector() order.
+//
+//cbvrvet:noalloc
 func glcmRow(q, r []float64) float64 {
 	var sum float64
 	for i := 0; i < len(glcmScale); i++ {
@@ -150,6 +168,8 @@ const (
 // tamuraRow is Tamura.DistanceTo over packed vectors: scaled coarseness
 // and contrast squared-sum plus half the L1 between the pre-normalised
 // directionality distributions.
+//
+//cbvrvet:noalloc
 func tamuraRow(q, r []float64) float64 {
 	dc := (q[0] - r[0]) / tamuraCoarseScale
 	dk := (q[1] - r[1]) / tamuraContrastScale
@@ -160,18 +180,24 @@ func tamuraRow(q, r []float64) float64 {
 // correlogramRow is Correlogram.DistanceTo over packed vectors: the cells
 // are flattened in DistanceTo's accumulation order, so the plain L1 sum
 // divided by the cell count reproduces the mean absolute difference.
+//
+//cbvrvet:noalloc
 func correlogramRow(q, r []float64) float64 {
 	return l1Row(q, r) / (CorrelogramBins * CorrelogramMaxDistance)
 }
 
 // regionsRow is RegionStats.DistanceTo over packed vectors
 // [major, regions, holes]; the counts are exact in float64.
+//
+//cbvrvet:noalloc
 func regionsRow(q, r []float64) float64 {
 	return math.Abs(q[0]-r[0]) + 0.1*math.Abs(q[1]-r[1]) + 0.05*math.Abs(q[2]-r[2])
 }
 
 // naiveRow is NaiveSignature.DistanceTo over packed vectors: per sample
 // point the Euclidean RGB distance, summed over the 25 points.
+//
+//cbvrvet:noalloc
 func naiveRow(q, r []float64) float64 {
 	r = r[:len(q)]
 	var sum float64

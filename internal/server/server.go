@@ -336,6 +336,12 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		// Walk parts in wire order so the container part streams straight
 		// into ingest without spooling the upload to disk or memory.
 		for container == nil {
+			// A part read can block on a stalled client; bail out once the
+			// request context is cancelled rather than walking dead parts.
+			if err := r.Context().Err(); err != nil {
+				writeErr(w, err)
+				return
+			}
 			part, err := mr.NextPart()
 			if err == io.EOF {
 				writeJSON(w, http.StatusBadRequest, map[string]string{"error": "missing \"video\" upload part"})

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -442,5 +443,44 @@ func TestMultipartIngestAndSearch(t *testing.T) {
 	}
 	if sr.Matches[0].VideoName != "mpclip" {
 		t.Fatalf("top match %+v, want mpclip", sr.Matches[0])
+	}
+}
+
+// TestMultipartIngestCancelledContext pins the cbvrvet:ctxloop fix in
+// handleIngest's part walk: a request whose context is already
+// cancelled must be refused (503, context classification) before any
+// multipart part is consumed or anything is ingested.
+func TestMultipartIngestCancelledContext(t *testing.T) {
+	eng := openTestEngine(t)
+	srv := New(eng, Options{})
+
+	raw, _ := testContainer(t, synthvid.Cartoon, 601, 8)
+	var buf bytes.Buffer
+	mw := multipart.NewWriter(&buf)
+	mw.WriteField("name", "deadclient")
+	fw, err := mw.CreateFormFile("video", "clip.cvj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw.Write(raw)
+	mw.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := httptest.NewRequest(http.MethodPost, "/api/v1/ingest", &buf).WithContext(ctx)
+	req.Header.Set("Content-Type", mw.FormDataContentType())
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("cancelled ingest: status %d, want 503: %s", rec.Code, rec.Body.String())
+	}
+
+	// Nothing may have been committed for the dead client.
+	vids, err := eng.Store().ListVideos(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vids) != 0 {
+		t.Fatalf("cancelled ingest left %d video(s) behind", len(vids))
 	}
 }

@@ -68,6 +68,16 @@ type Stats struct {
 }
 
 // DB is a single-file embedded database with a write-ahead log.
+//
+// Lock order (enforced by tools/cbvrvet lockorder): mu is the outermost
+// lock — Close takes stageMu while holding mu exclusively, and every
+// pager call that touches pg.mu runs under mu. stageMu critical
+// sections are counter-only bookkeeping, so no blocking or file I/O may
+// run while it is held.
+//
+//cbvrvet:lockorder db.mu < stageMu
+//cbvrvet:lockorder db.mu < pager.mu
+//cbvrvet:lockorder noio stageMu
 type DB struct {
 	mu     sync.RWMutex
 	pager  *pager

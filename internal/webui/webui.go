@@ -187,6 +187,11 @@ func (s *Server) handleVideo(w http.ResponseWriter, r *http.Request) {
 	}
 	var frames []frameView
 	for _, kf := range kfs {
+		// Each iteration reads a full key-frame blob from the store; stop
+		// early when the client is gone instead of decoding for nobody.
+		if err := r.Context().Err(); err != nil {
+			return
+		}
 		img, ok, err := s.eng.Store().KeyFrameImage(nil, kf.ID)
 		if err != nil || !ok {
 			continue

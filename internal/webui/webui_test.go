@@ -2,6 +2,7 @@ package webui
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"mime/multipart"
@@ -432,5 +433,21 @@ func TestAdminReindexAll(t *testing.T) {
 	srv.ServeHTTP(rec, req)
 	if rec.Code != http.StatusNotFound {
 		t.Errorf("missing video: status %d", rec.Code)
+	}
+}
+
+// TestVideoPageCancelledContextStopsEarly pins the cbvrvet:ctxloop fix
+// in handleVideo: once the client is gone, the per-key-frame blob loop
+// must bail out instead of decoding a whole video for nobody, so a
+// cancelled request renders no frames.
+func TestVideoPageCancelledContextStopsEarly(t *testing.T) {
+	srv, _, res := newTestServer(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := httptest.NewRequest(http.MethodGet, fmt.Sprintf("/video?id=%d", res.VideoID), nil).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if body := rec.Body.String(); strings.Contains(body, "data:image/jpeg;base64,") {
+		t.Error("handler rendered key frames for a cancelled request")
 	}
 }

@@ -1,0 +1,89 @@
+// Package analysis is a stdlib-only re-implementation of the subset of
+// golang.org/x/tools/go/analysis that cbvrvet's analyzers need. The
+// build environment pins dependencies to the standard library, so the
+// x/tools module cannot be vendored; this package keeps the same shape
+// (Analyzer, Pass, Diagnostic) so the analyzers would port to the real
+// framework by changing one import path.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"cbvr/tools/cbvrvet/directive"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in ignore
+	// directives.
+	Name string
+	// Doc is the one-paragraph description printed by -list.
+	Doc string
+	// Run executes the check over one package.
+	Run func(*Pass) error
+}
+
+// Pass carries one type-checked package through an analyzer run.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Directives is the package's parsed //cbvrvet: directive set (lock
+	// orders, noio marks, noalloc annotations).
+	Directives *directive.Set
+	// Report delivers one diagnostic. The runner wraps it with the
+	// suppression filter driven by ignore directives.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Finding is a resolved diagnostic, as produced by the runner.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: [%s] %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// ObjectOf resolves the object an identifier uses or defines.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	if o := p.TypesInfo.Uses[id]; o != nil {
+		return o
+	}
+	return p.TypesInfo.Defs[id]
+}
+
+// CalleeFunc resolves the static *types.Func a call invokes: a plain
+// function, a method (possibly through a selector), or nil for builtins,
+// func-typed variables and type conversions.
+func (p *Pass) CalleeFunc(call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := p.ObjectOf(fun).(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := p.ObjectOf(fun.Sel).(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}

@@ -1,0 +1,212 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"cbvr/tools/cbvrvet/analysis"
+)
+
+// Ctxloop checks that cancellable functions stay cancellable: any
+// function that takes a context.Context (and any HTTP handler, whose
+// context is r.Context()) must check the context inside every loop
+// that performs real per-iteration work — a frame decode, a store
+// read, an ingest. A loop is satisfied by ctx.Err()/ctx.Done() inside
+// the body or by passing the context into a callee (which is then
+// itself in scope if it is in this package); range-over-channel loops
+// are exempt, as the sender owns cancellation there.
+var Ctxloop = &analysis.Analyzer{
+	Name: "ctxloop",
+	Doc: "check that context-taking functions and HTTP handlers check their " +
+		"context inside loops that do per-iteration work",
+	Run: runCtxloop,
+}
+
+// cheapStdPackages are standard-library packages whose calls never
+// block meaningfully; a loop whose only calls land here needs no
+// cancellation check.
+var cheapStdPackages = map[string]bool{
+	"bytes": true, "cmp": true, "container/heap": true,
+	"encoding/binary": true, "errors": true, "fmt": true,
+	"hash": true, "hash/crc32": true, "maps": true, "math": true,
+	"math/bits": true, "math/rand": true, "slices": true, "sort": true,
+	"strconv": true, "strings": true, "sync": true, "sync/atomic": true,
+	"unicode": true, "unicode/utf8": true,
+}
+
+// cheapNames are method/function names that are cheap accessors or
+// in-memory data-structure operations regardless of package.
+var cheapNames = map[string]bool{
+	"Get": true, "Push": true, "Pop": true, "Merge": true, "Join": true,
+	"Observe": true, "Scale": true, "ShardFor": true, "Len": true,
+	"Cap": true, "String": true, "Error": true, "Err": true, "Done": true,
+	"Load": true, "Store": true, "Add": true, "Sub": true, "Overlaps": true,
+	"Sorted": true, "Min": true, "Max": true, "Abs": true, "Context": true,
+}
+
+func runCtxloop(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if hasCtxParam(pass, fd) {
+				checkCtxLoops(pass, fd.Body, "ctx")
+			} else if isHTTPHandler(pass, fd) {
+				checkCtxLoops(pass, fd.Body, "r.Context()")
+			}
+		}
+	}
+	return nil
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+func hasCtxParam(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig := fn.Type().(*types.Signature)
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isContextType(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// isHTTPHandler matches the (http.ResponseWriter, *http.Request)
+// signature shape, with or without a receiver.
+func isHTTPHandler(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig := fn.Type().(*types.Signature)
+	if sig.Params().Len() != 2 {
+		return false
+	}
+	return isNamedHTTP(sig.Params().At(0).Type(), "ResponseWriter") &&
+		isNamedHTTP(derefType(sig.Params().At(1).Type()), "Request")
+}
+
+func derefType(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+func isNamedHTTP(t types.Type, name string) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "net/http" && obj.Name() == name
+}
+
+// checkCtxLoops reports every loop in body that performs work without
+// a context check. Nested function literals are scanned too: the
+// engine's worker pools loop inside closures.
+func checkCtxLoops(pass *analysis.Pass, body *ast.BlockStmt, ctxLabel string) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		var loopBody *ast.BlockStmt
+		switch loop := n.(type) {
+		case *ast.ForStmt:
+			loopBody = loop.Body
+		case *ast.RangeStmt:
+			if _, ok := pass.TypesInfo.Types[loop.X].Type.Underlying().(*types.Chan); ok {
+				return true // channel receive loops end when the sender cancels
+			}
+			loopBody = loop.Body
+		default:
+			return true
+		}
+		if work := findWorkCall(pass, loopBody); work != "" && !loopChecksCtx(pass, loopBody) {
+			pass.Reportf(n.Pos(), "loop calls %s but never checks %s; cancellation cannot interrupt it", work, ctxLabel)
+		}
+		return true
+	})
+}
+
+// findWorkCall returns a label for the first call in the loop body that
+// does real per-iteration work, or "".
+func findWorkCall(pass *analysis.Pass, body *ast.BlockStmt) string {
+	var work string
+	ast.Inspect(body, func(n ast.Node) bool {
+		if work != "" {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			// A closure's loops are checked on their own; its body is not
+			// this loop's per-iteration work.
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := pass.CalleeFunc(call)
+		if callee == nil || callee.Pkg() == nil {
+			return true // builtins, func values, conversions
+		}
+		if callee.Pkg() == pass.Pkg {
+			return true // same-package callees are analyzed on their own
+		}
+		if cheapStdPackages[callee.Pkg().Path()] {
+			return true
+		}
+		if cheapNames[callee.Name()] || strings.HasPrefix(callee.Name(), "New") {
+			return true
+		}
+		work = callee.Pkg().Name() + "." + callee.Name()
+		return false
+	})
+	return work
+}
+
+// loopChecksCtx reports whether the loop body consults a context:
+// calling Err/Done on a context value, selecting on Done, or passing a
+// context into a callee.
+func loopChecksCtx(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // symmetric with findWorkCall
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok &&
+			(sel.Sel.Name == "Err" || sel.Sel.Name == "Done") {
+			if tv, ok := pass.TypesInfo.Types[sel.X]; ok && isContextType(tv.Type) {
+				found = true
+				return false
+			}
+		}
+		for _, arg := range call.Args {
+			if tv, ok := pass.TypesInfo.Types[arg]; ok && isContextType(tv.Type) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,20 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"cbvr/tools/cbvrvet/analyzers"
+	"cbvr/tools/cbvrvet/vettest"
+)
+
+func TestCtxloop(t *testing.T) {
+	vettest.Run(t, vettest.TestData(t), analyzers.Ctxloop, "ctxloop")
+}
+
+// TestCtxloopRejectsSpacedDirective pins the typo guard end to end: a
+// "// cbvrvet:" comment (note the space) fails the run for any
+// analyzer, since directives parse before analysis.
+func TestCtxloopRejectsSpacedDirective(t *testing.T) {
+	vettest.RunExpectError(t, vettest.TestData(t), analyzers.Ctxloop,
+		"directivebad", `directivebad\.go:5:.*must start the comment as //cbvrvet:<verb> with no space`)
+}

@@ -1,0 +1,461 @@
+// Package analyzers holds the five cbvrvet checks: lockorder, ctxloop,
+// poolguard, noalloc and errvet. Each is an *analysis.Analyzer run by
+// the cbvrvet multichecker (standalone or as a go vet -vettool).
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"cbvr/tools/cbvrvet/analysis"
+)
+
+// Lockorder checks the documented mutex acquisition order.
+//
+// Locks are named in //cbvrvet:lockorder directives as "Type.field"
+// (type name matched case-insensitively) or a bare field name when it
+// is unambiguous in the package. The walk is linear per function:
+// acquiring a lock that the documented order places before a lock
+// already held is a violation, as is (transitively, through
+// same-package callees) re-acquiring a held write lock, or calling a
+// blocking/file-I/O function while a //cbvrvet:lockorder noio lock is
+// held.
+var Lockorder = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc: "check mutex acquisition against the //cbvrvet:lockorder directives " +
+		"(ordering, transitive self-deadlock, and no I/O under noio locks)",
+	Run: runLockorder,
+}
+
+// lockID is one tracked mutex: the struct field object plus its
+// canonical display name from the directive.
+type lockID struct {
+	field *types.Var
+	name  string
+}
+
+type lockorderState struct {
+	pass *analysis.Pass
+	// locks maps every tracked field object to its directive name.
+	locks map[*types.Var]string
+	// after[a] is the set of lock names documented to be acquired
+	// strictly after a (transitive closure of the directives).
+	after map[string]map[string]bool
+	noio  map[string]bool
+
+	decls map[*types.Func]*ast.FuncDecl
+	// acquires memoizes, per package function, the locks it (or its
+	// same-package callees) may acquire; write is true when any
+	// acquisition on the path is a write lock.
+	acquires map[*types.Func]map[string]bool
+	writeAcq map[*types.Func]map[string]bool
+	// doesIO memoizes whether a function (transitively, same package)
+	// calls into a blocking/file-I/O standard library package.
+	doesIO map[*types.Func]bool
+	inProg map[*types.Func]bool
+	ioProg map[*types.Func]bool
+}
+
+func runLockorder(pass *analysis.Pass) error {
+	st := &lockorderState{
+		pass:     pass,
+		locks:    make(map[*types.Var]string),
+		after:    make(map[string]map[string]bool),
+		noio:     make(map[string]bool),
+		decls:    make(map[*types.Func]*ast.FuncDecl),
+		acquires: make(map[*types.Func]map[string]bool),
+		writeAcq: make(map[*types.Func]map[string]bool),
+		doesIO:   make(map[*types.Func]bool),
+		inProg:   make(map[*types.Func]bool),
+		ioProg:   make(map[*types.Func]bool),
+	}
+	if err := st.resolveDirectives(); err != nil {
+		return err
+	}
+	if len(st.locks) == 0 {
+		return nil // nothing documented in this package
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				st.decls[fn] = fd
+			}
+		}
+	}
+	for _, fd := range st.decls {
+		st.checkFunc(fd)
+	}
+	return nil
+}
+
+// mutexField reports whether the field's type is sync.Mutex or
+// sync.RWMutex.
+func mutexField(v *types.Var) bool {
+	named, ok := v.Type().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// resolveDirectives binds each directive lock token to a struct field
+// in the package and builds the transitive order relation.
+func (st *lockorderState) resolveDirectives() error {
+	// Candidate locks: every sync.Mutex/RWMutex field of every named
+	// struct type in the package scope.
+	type candidate struct {
+		typeName string
+		field    *types.Var
+	}
+	var cands []candidate
+	scope := st.pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		strct, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < strct.NumFields(); i++ {
+			if f := strct.Field(i); mutexField(f) {
+				cands = append(cands, candidate{typeName: tn.Name(), field: f})
+			}
+		}
+	}
+	resolve := func(token string, pos token.Position) (*types.Var, error) {
+		typePart, fieldPart, qualified := strings.Cut(token, ".")
+		var matches []candidate
+		for _, c := range cands {
+			if qualified {
+				if strings.EqualFold(c.typeName, typePart) && c.field.Name() == fieldPart {
+					matches = append(matches, c)
+				}
+			} else if c.field.Name() == token {
+				matches = append(matches, c)
+			}
+		}
+		switch len(matches) {
+		case 1:
+			return matches[0].field, nil
+		case 0:
+			return nil, fmt.Errorf("%s: lockorder directive names unknown lock %q (no matching sync.Mutex/RWMutex struct field in package %s)", pos, token, st.pass.Pkg.Path())
+		default:
+			var names []string
+			for _, m := range matches {
+				names = append(names, m.typeName+"."+m.field.Name())
+			}
+			return nil, fmt.Errorf("%s: lockorder directive lock %q is ambiguous in package %s (matches %s); qualify it as Type.field", pos, token, st.pass.Pkg.Path(), strings.Join(names, ", "))
+		}
+	}
+
+	addLock := func(token string, pos token.Position) error {
+		f, err := resolve(token, pos)
+		if err != nil {
+			return err
+		}
+		if prev, ok := st.locks[f]; ok && prev != token {
+			// Same field named two ways across directives; keep the first
+			// spelling as canonical.
+			return nil
+		}
+		st.locks[f] = token
+		return nil
+	}
+	for _, o := range st.pass.Directives.Orders {
+		if err := addLock(o.Earlier, o.Pos); err != nil {
+			return err
+		}
+		if err := addLock(o.Later, o.Pos); err != nil {
+			return err
+		}
+		if st.after[o.Earlier] == nil {
+			st.after[o.Earlier] = make(map[string]bool)
+		}
+		st.after[o.Earlier][o.Later] = true
+	}
+	for _, n := range st.pass.Directives.NoIO {
+		if err := addLock(n.Lock, n.Pos); err != nil {
+			return err
+		}
+		st.noio[n.Lock] = true
+	}
+	// Transitive closure (the lock sets are tiny; repeated passes are fine).
+	for changed := true; changed; {
+		changed = false
+		for a, bs := range st.after {
+			for b := range bs {
+				for c := range st.after[b] {
+					if !st.after[a][c] {
+						st.after[a][c] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	for a := range st.after {
+		if st.after[a][a] {
+			return fmt.Errorf("package %s: cbvrvet:lockorder directives form a cycle through %q", st.pass.Pkg.Path(), a)
+		}
+	}
+	return nil
+}
+
+// lockExprName resolves an expression like db.mu or w.db.stageMu to the
+// tracked lock's directive name ("" when untracked).
+func (st *lockorderState) lockExprName(e ast.Expr) string {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	if f, ok := st.pass.ObjectOf(sel.Sel).(*types.Var); ok {
+		return st.locks[f]
+	}
+	return ""
+}
+
+// lockEvent is one step of a function's linear lock walk.
+type lockEvent struct {
+	kind   int // 0 acquire, 1 release, 2 call
+	lock   string
+	write  bool
+	callee *types.Func
+	pos    token.Pos
+}
+
+// collectEvents walks a function body in source order, producing
+// acquire / release / call events. Function-literal bodies are walked
+// inline (closures in this codebase run on the locking goroutine or
+// under the caller's lock via parallelFor), but each literal is its own
+// defer scope: a deferred Unlock fires at the end of the literal that
+// registered it, not at the end of the outer function — so a helper
+// closure that locks and defer-unlocks does not appear to hold its lock
+// over the rest of the enclosing function.
+func (st *lockorderState) collectEvents(body ast.Node) []lockEvent {
+	var events []lockEvent
+	var deferred []lockEvent // events whose calls run at this scope's end
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			events = append(events, st.collectEvents(x.Body)...)
+			return false
+		case *ast.DeferStmt:
+			if sel, ok := x.Call.Fun.(*ast.SelectorExpr); ok &&
+				(sel.Sel.Name == "Unlock" || sel.Sel.Name == "RUnlock") {
+				if name := st.lockExprName(sel.X); name != "" {
+					deferred = append(deferred, lockEvent{kind: 1, lock: name, pos: x.Call.Pos()})
+					return false
+				}
+			}
+			if fl, ok := x.Call.Fun.(*ast.FuncLit); ok {
+				deferred = append(deferred, st.collectEvents(fl.Body)...)
+				return false
+			}
+			if callee := st.pass.CalleeFunc(x.Call); callee != nil {
+				deferred = append(deferred, lockEvent{kind: 2, callee: callee, pos: x.Call.Pos()})
+			}
+			return false
+		case *ast.CallExpr:
+			if sel, ok := x.Fun.(*ast.SelectorExpr); ok {
+				switch sel.Sel.Name {
+				case "Lock", "RLock":
+					if name := st.lockExprName(sel.X); name != "" {
+						events = append(events, lockEvent{kind: 0, lock: name, write: sel.Sel.Name == "Lock", pos: x.Pos()})
+						return true
+					}
+				case "Unlock", "RUnlock":
+					if name := st.lockExprName(sel.X); name != "" {
+						events = append(events, lockEvent{kind: 1, lock: name, pos: x.Pos()})
+						return true
+					}
+				}
+			}
+			if callee := st.pass.CalleeFunc(x); callee != nil {
+				events = append(events, lockEvent{kind: 2, callee: callee, pos: x.Pos()})
+			}
+			return true
+		}
+		return true
+	})
+	return append(events, deferred...)
+}
+
+type heldLock struct {
+	name  string
+	write bool
+}
+
+func (st *lockorderState) checkFunc(fd *ast.FuncDecl) {
+	var held []heldLock
+	holds := func(name string) *heldLock {
+		for i := range held {
+			if held[i].name == name {
+				return &held[i]
+			}
+		}
+		return nil
+	}
+	reportedIO := make(map[token.Pos]bool)
+	for _, ev := range st.collectEvents(fd.Body) {
+		switch ev.kind {
+		case 0: // acquire
+			if h := holds(ev.lock); h != nil && (h.write || ev.write) {
+				st.pass.Reportf(ev.pos, "acquires %s while already holding it (self-deadlock)", ev.lock)
+			}
+			for _, h := range held {
+				if st.after[ev.lock][h.name] {
+					st.pass.Reportf(ev.pos, "acquires %s while holding %s; documented order is %s < %s", ev.lock, h.name, ev.lock, h.name)
+				}
+			}
+			held = append(held, heldLock{name: ev.lock, write: ev.write})
+		case 1: // release (deferred ones are sequenced at their scope's end)
+			for i := len(held) - 1; i >= 0; i-- {
+				if held[i].name == ev.lock {
+					held = append(held[:i], held[i+1:]...)
+					break
+				}
+			}
+		case 2: // call
+			if len(held) == 0 {
+				continue
+			}
+			acq, wacq := st.calleeAcquires(ev.callee)
+			for name := range acq {
+				if h := holds(name); h != nil && (h.write || wacq[name]) {
+					st.pass.Reportf(ev.pos, "calls %s, which acquires %s while it is already held (self-deadlock)", ev.callee.Name(), name)
+					continue
+				}
+				for _, h := range held {
+					if st.after[name][h.name] {
+						st.pass.Reportf(ev.pos, "calls %s, which acquires %s while holding %s; documented order is %s < %s", ev.callee.Name(), name, h.name, name, h.name)
+					}
+				}
+			}
+			for _, h := range held {
+				if st.noio[h.name] && st.calleeDoesIO(ev.callee) && !reportedIO[ev.pos] {
+					reportedIO[ev.pos] = true
+					st.pass.Reportf(ev.pos, "calls blocking/file-I/O function %s while holding %s (marked cbvrvet:lockorder noio)", calleeLabel(ev.callee), h.name)
+				}
+			}
+		}
+	}
+}
+
+func calleeLabel(f *types.Func) string {
+	if f.Pkg() != nil && f.Pkg().Path() != "" {
+		return f.Pkg().Name() + "." + f.Name()
+	}
+	return f.Name()
+}
+
+// ioPackages are standard-library packages whose calls count as
+// blocking/file I/O for noio locks. Calls into other packages of this
+// module are resolved transitively when their source is in the
+// analyzed package, and treated as unknown (clean) otherwise.
+var ioPackages = map[string]bool{
+	"os":       true,
+	"io":       true,
+	"bufio":    true,
+	"net":      true,
+	"net/http": true,
+	"syscall":  true,
+}
+
+func (st *lockorderState) calleeDoesIO(f *types.Func) bool {
+	if f.Pkg() == nil {
+		return false
+	}
+	if ioPackages[f.Pkg().Path()] {
+		return true
+	}
+	if f.Pkg() != st.pass.Pkg {
+		return false
+	}
+	if v, ok := st.doesIO[f]; ok {
+		return v
+	}
+	fd, ok := st.decls[f]
+	if !ok || st.ioProg[f] {
+		return false
+	}
+	st.ioProg[f] = true
+	result := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if result {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if callee := st.pass.CalleeFunc(call); callee != nil && callee != f && st.calleeDoesIO(callee) {
+				result = true
+			}
+		}
+		return true
+	})
+	st.ioProg[f] = false
+	st.doesIO[f] = result
+	return result
+}
+
+// calleeAcquires returns the lock names f may acquire, directly or via
+// same-package callees, with the subset acquired as write locks.
+func (st *lockorderState) calleeAcquires(f *types.Func) (map[string]bool, map[string]bool) {
+	if f.Pkg() != st.pass.Pkg {
+		return nil, nil
+	}
+	if acq, ok := st.acquires[f]; ok {
+		return acq, st.writeAcq[f]
+	}
+	fd, ok := st.decls[f]
+	if !ok || st.inProg[f] {
+		return nil, nil
+	}
+	st.inProg[f] = true
+	acq := make(map[string]bool)
+	wacq := make(map[string]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && (sel.Sel.Name == "Lock" || sel.Sel.Name == "RLock") {
+			if name := st.lockExprName(sel.X); name != "" {
+				acq[name] = true
+				if sel.Sel.Name == "Lock" {
+					wacq[name] = true
+				}
+				return true
+			}
+		}
+		if callee := st.pass.CalleeFunc(call); callee != nil && callee != f {
+			sub, wsub := st.calleeAcquires(callee)
+			for name := range sub {
+				acq[name] = true
+			}
+			for name := range wsub {
+				wacq[name] = true
+			}
+		}
+		return true
+	})
+	st.inProg[f] = false
+	st.acquires[f] = acq
+	st.writeAcq[f] = wacq
+	return acq, wacq
+}

@@ -1,0 +1,22 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"cbvr/tools/cbvrvet/analyzers"
+	"cbvr/tools/cbvrvet/vettest"
+)
+
+func TestLockorder(t *testing.T) {
+	vettest.Run(t, vettest.TestData(t), analyzers.Lockorder, "lockorder")
+}
+
+func TestLockorderUnknownLock(t *testing.T) {
+	vettest.RunExpectError(t, vettest.TestData(t), analyzers.Lockorder,
+		"lockorderbad", `lockorderbad\.go:7:.*names unknown lock "ghostMu"`)
+}
+
+func TestLockorderAmbiguousLock(t *testing.T) {
+	vettest.RunExpectError(t, vettest.TestData(t), analyzers.Lockorder,
+		"lockorderambig", `lockorderambig\.go:7:.*"mu" is ambiguous.*qualify it as Type\.field`)
+}

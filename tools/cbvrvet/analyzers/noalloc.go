@@ -1,0 +1,130 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"cbvr/tools/cbvrvet/analysis"
+)
+
+// Noalloc gates the engine's "0 allocs/op" kernels at lint time: a
+// function whose doc comment carries //cbvrvet:noalloc is rejected if
+// its body contains an allocating construct — make, new, append, a
+// slice/map/pointer composite literal, a map write, a function
+// literal (closures allocate), a go statement, a defer inside a loop
+// (function-top defers are open-coded and free; looped defers heap a
+// record per iteration), or a conversion to string or a slice. Plain
+// function calls are not flagged: a cold error path may call
+// fmt.Errorf, and called kernels carry their own annotation.
+var Noalloc = &analysis.Analyzer{
+	Name: "noalloc",
+	Doc: "reject allocating constructs inside functions annotated " +
+		"//cbvrvet:noalloc (the batch distance kernels and arena sweeps)",
+	Run: runNoalloc,
+}
+
+func runNoalloc(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !pass.Directives.NoAlloc(fd) {
+				continue
+			}
+			checkNoalloc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkNoalloc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	report := func(n ast.Node, what string) {
+		pass.Reportf(n.Pos(), "%s in //cbvrvet:noalloc function %s", what, fd.Name.Name)
+	}
+	// A defer at function top is open-coded (no allocation); a defer
+	// executed per loop iteration heap-allocates its record.
+	deferInLoop := make(map[*ast.DeferStmt]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		var body *ast.BlockStmt
+		switch loop := n.(type) {
+		case *ast.ForStmt:
+			body = loop.Body
+		case *ast.RangeStmt:
+			body = loop.Body
+		default:
+			return true
+		}
+		ast.Inspect(body, func(m ast.Node) bool {
+			if d, ok := m.(*ast.DeferStmt); ok {
+				deferInLoop[d] = true
+			}
+			return true
+		})
+		return true
+	})
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok {
+				if b, ok := pass.ObjectOf(id).(*types.Builtin); ok {
+					switch b.Name() {
+					case "make":
+						report(x, "make allocates")
+					case "new":
+						report(x, "new allocates")
+					case "append":
+						report(x, "append may grow its backing array")
+					}
+					return true
+				}
+			}
+			// Conversions to string or slice types copy/allocate.
+			if tv, ok := pass.TypesInfo.Types[x.Fun]; ok && tv.IsType() {
+				switch tv.Type.Underlying().(type) {
+				case *types.Slice:
+					report(x, "conversion to a slice type allocates")
+				case *types.Basic:
+					if tv.Type.Underlying().(*types.Basic).Info()&types.IsString != 0 {
+						if len(x.Args) == 1 {
+							if atv, ok := pass.TypesInfo.Types[x.Args[0]]; ok {
+								if _, isSlice := atv.Type.Underlying().(*types.Slice); isSlice {
+									report(x, "[]byte/[]rune to string conversion allocates")
+								}
+							}
+						}
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			switch pass.TypesInfo.Types[x].Type.Underlying().(type) {
+			case *types.Slice:
+				report(x, "slice literal allocates")
+			case *types.Map:
+				report(x, "map literal allocates")
+			}
+		case *ast.UnaryExpr:
+			if x.Op.String() == "&" {
+				if _, ok := ast.Unparen(x.X).(*ast.CompositeLit); ok {
+					report(x, "&composite literal allocates")
+				}
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				if idx, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+					if _, isMap := pass.TypesInfo.Types[idx.X].Type.Underlying().(*types.Map); isMap {
+						report(lhs, "map write may allocate")
+					}
+				}
+			}
+		case *ast.FuncLit:
+			report(x, "function literal allocates (closure)")
+			return false
+		case *ast.GoStmt:
+			report(x, "go statement allocates a goroutine")
+		case *ast.DeferStmt:
+			if deferInLoop[x] {
+				report(x, "defer inside a loop allocates per iteration")
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,12 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"cbvr/tools/cbvrvet/analyzers"
+	"cbvr/tools/cbvrvet/vettest"
+)
+
+func TestNoalloc(t *testing.T) {
+	vettest.Run(t, vettest.TestData(t), analyzers.Noalloc, "noalloc")
+}

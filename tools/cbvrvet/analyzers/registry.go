@@ -1,0 +1,10 @@
+package analyzers
+
+import "cbvr/tools/cbvrvet/analysis"
+
+// All returns the full cbvrvet suite in reporting order. CI greps the
+// -list output for this count; adding or removing an analyzer must
+// show up there.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{Lockorder, Ctxloop, Poolguard, Noalloc, Errvet}
+}

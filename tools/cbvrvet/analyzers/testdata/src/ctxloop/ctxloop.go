@@ -1,0 +1,81 @@
+// Package ctxloop exercises the ctxloop analyzer: unchecked work
+// loops in context-taking functions and HTTP handlers, the accepted
+// check forms, the range-over-channel exemption, and suppression.
+package ctxloop
+
+import (
+	"context"
+	"net/http"
+	"os"
+)
+
+// sweep does per-iteration work with no cancellation check.
+func sweep(ctx context.Context, paths []string) {
+	for _, p := range paths { // want `loop calls os\.ReadFile but never checks ctx; cancellation cannot interrupt it`
+		os.ReadFile(p)
+	}
+}
+
+// sweepChecked consults ctx.Err each iteration: negative case.
+func sweepChecked(ctx context.Context, paths []string) error {
+	for _, p := range paths {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		os.ReadFile(p)
+	}
+	return nil
+}
+
+// sweepDelegated passes the context into a callee each iteration,
+// which also counts as a check.
+func sweepDelegated(ctx context.Context, paths []string) {
+	for _, p := range paths {
+		touch(ctx, p)
+		os.ReadFile(p)
+	}
+}
+
+func touch(ctx context.Context, p string) {}
+
+// handleDump is HTTP-handler-shaped, so its loops must check
+// r.Context().
+func handleDump(w http.ResponseWriter, r *http.Request) {
+	for i := 0; i < 8; i++ { // want `loop calls os\.ReadFile but never checks r\.Context\(\); cancellation cannot interrupt it`
+		os.ReadFile("x")
+	}
+}
+
+// handleDumpChecked is the handler negative case.
+func handleDumpChecked(w http.ResponseWriter, r *http.Request) {
+	for i := 0; i < 8; i++ {
+		if r.Context().Err() != nil {
+			return
+		}
+		os.ReadFile("x")
+	}
+}
+
+// drain ranges over a channel: the sender owns cancellation, exempt.
+func drain(ctx context.Context, ch chan string) {
+	for p := range ch {
+		os.ReadFile(p)
+	}
+}
+
+// cheapLoop only calls cheap std functions: no work, no report.
+func cheapLoop(ctx context.Context, words []string) int {
+	total := 0
+	for _, w := range words {
+		total += len(w)
+	}
+	return total
+}
+
+// sweepSuppressed is sweep under an ignore directive.
+func sweepSuppressed(ctx context.Context, paths []string) {
+	//cbvrvet:ignore ctxloop fixture: sweep must run to completion
+	for _, p := range paths {
+		os.ReadFile(p)
+	}
+}

@@ -1,0 +1,6 @@
+// Package directivebad contains a spaced directive typo, which the
+// directive parser rejects with its position.
+package directivebad
+
+// cbvrvet:ignore ctxloop this spaced form must be a hard error
+func f() {}

@@ -1,0 +1,88 @@
+// Package lockorder exercises the lockorder analyzer: direct and
+// transitive order violations, self-deadlock, I/O under a noio lock,
+// and suppression.
+package lockorder
+
+import (
+	"os"
+	"sync"
+)
+
+// The documented order, spelled the way the real tree spells it: one
+// qualified token, one bare (unambiguous) token.
+//
+//cbvrvet:lockorder DB.mu < stageMu
+//cbvrvet:lockorder noio stageMu
+type DB struct {
+	mu      sync.RWMutex
+	stageMu sync.Mutex
+}
+
+// goodOrder acquires in the documented order: negative case.
+func goodOrder(db *DB) {
+	db.mu.Lock()
+	db.stageMu.Lock()
+	db.stageMu.Unlock()
+	db.mu.Unlock()
+}
+
+// badOrder inverts the documented order: positive case.
+func badOrder(db *DB) {
+	db.stageMu.Lock()
+	db.mu.Lock() // want `acquires DB\.mu while holding stageMu; documented order is DB\.mu < stageMu`
+	db.mu.Unlock()
+	db.stageMu.Unlock()
+}
+
+// selfDeadlock re-acquires a held write lock.
+func selfDeadlock(db *DB) {
+	db.mu.Lock()
+	db.mu.Lock() // want `acquires DB\.mu while already holding it \(self-deadlock\)`
+	db.mu.Unlock()
+	db.mu.Unlock()
+}
+
+// throughCallee reaches the inversion transitively: the callee takes
+// db.mu while this function holds stageMu.
+func throughCallee(db *DB) {
+	db.stageMu.Lock()
+	defer db.stageMu.Unlock()
+	lockBoth(db) // want `calls lockBoth, which acquires DB\.mu while holding stageMu; documented order is DB\.mu < stageMu`
+}
+
+func lockBoth(db *DB) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+}
+
+// ioUnderStage performs file I/O while holding the noio-marked lock.
+func ioUnderStage(db *DB, path string) {
+	db.stageMu.Lock()
+	os.Remove(path) // want `calls blocking/file-I/O function os\.Remove while holding stageMu \(marked cbvrvet:lockorder noio\)`
+	db.stageMu.Unlock()
+}
+
+// ioAfterRelease does the same I/O after releasing: negative case.
+func ioAfterRelease(db *DB, path string) {
+	db.stageMu.Lock()
+	db.stageMu.Unlock()
+	os.Remove(path)
+}
+
+// sequentialReads take and drop the read lock twice; no overlap, no
+// report.
+func sequentialReads(db *DB) {
+	db.mu.RLock()
+	db.mu.RUnlock()
+	db.mu.RLock()
+	db.mu.RUnlock()
+}
+
+// suppressedInversion is badOrder under an ignore directive.
+func suppressedInversion(db *DB) {
+	db.stageMu.Lock()
+	//cbvrvet:ignore lockorder fixture: inversion kept to test suppression
+	db.mu.Lock()
+	db.mu.Unlock()
+	db.stageMu.Unlock()
+}

@@ -1,0 +1,13 @@
+// Package lockorderambig names a lock with a bare field name that two
+// structs share; the analyzer must demand qualification.
+package lockorderambig
+
+import "sync"
+
+//cbvrvet:lockorder mu < B.other
+type A struct{ mu sync.Mutex }
+
+type B struct {
+	mu    sync.Mutex
+	other sync.Mutex
+}

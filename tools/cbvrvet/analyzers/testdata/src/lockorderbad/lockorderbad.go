@@ -1,0 +1,10 @@
+// Package lockorderbad has a directive naming a lock that does not
+// exist; the analyzer must fail the run, not skip the check.
+package lockorderbad
+
+import "sync"
+
+//cbvrvet:lockorder DB.mu < ghostMu
+type DB struct {
+	mu sync.Mutex
+}

@@ -1,0 +1,70 @@
+// Package noalloc exercises the noalloc analyzer: each allocating
+// construct in an annotated function, the clean negatives (pure
+// arithmetic, function-top defer, unannotated functions), and
+// suppression.
+package noalloc
+
+import "sync"
+
+// grow appends in an annotated function.
+//
+//cbvrvet:noalloc
+func grow(xs []int) []int {
+	return append(xs, 1) // want `append may grow its backing array in //cbvrvet:noalloc function grow`
+}
+
+// scratch makes a slice.
+//
+//cbvrvet:noalloc
+func scratch(n int) []int {
+	return make([]int, n) // want `make allocates in //cbvrvet:noalloc function scratch`
+}
+
+// closure returns a function literal.
+//
+//cbvrvet:noalloc
+func closure(n int) func() int {
+	return func() int { return n } // want `function literal allocates \(closure\) in //cbvrvet:noalloc function closure`
+}
+
+// loopDefer defers per iteration, which heap-allocates the record.
+//
+//cbvrvet:noalloc
+func loopDefer(mu *sync.Mutex) {
+	for i := 0; i < 4; i++ {
+		mu.Lock()
+		defer mu.Unlock() // want `defer inside a loop allocates per iteration in //cbvrvet:noalloc function loopDefer`
+	}
+}
+
+// sum is allocation-free arithmetic: negative case.
+//
+//cbvrvet:noalloc
+func sum(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// locked uses a function-top defer, which is open-coded (free):
+// negative case.
+//
+//cbvrvet:noalloc
+func locked(mu *sync.Mutex) int {
+	mu.Lock()
+	defer mu.Unlock()
+	return 1
+}
+
+// free is unannotated: allocations are fine.
+func free(n int) []int { return make([]int, n) }
+
+// suppressed allocates under an ignore directive.
+//
+//cbvrvet:noalloc
+func suppressed(n int) []int {
+	//cbvrvet:ignore noalloc fixture: cold path kept to test suppression
+	return make([]int, n)
+}

@@ -1,0 +1,86 @@
+// Package poolguard exercises the poolguard analyzer: leaks on early
+// returns, double release, use after release, discarded acquisitions,
+// the deferred/escape negative forms, and suppression.
+package poolguard
+
+import "sync"
+
+type buffer struct{ data []byte }
+
+func (b *buffer) Release() {}
+
+var bufPool = sync.Pool{New: func() any { return new(buffer) }}
+
+func consume(b *buffer) {}
+
+func acquireBuffer() *buffer { return new(buffer) }
+
+// leak skips the release on the early-return path.
+func leak(n int) *buffer {
+	b := bufPool.Get().(*buffer) // want `pooled value b acquired here is not released on every return path \(release it, defer its release, or hand it off\)`
+	if n > 0 {
+		return nil
+	}
+	bufPool.Put(b)
+	return nil
+}
+
+// roundTrip releases on the only path: negative case.
+func roundTrip() {
+	b := bufPool.Get().(*buffer)
+	bufPool.Put(b)
+}
+
+// double releases twice.
+func double() {
+	b := bufPool.Get().(*buffer)
+	bufPool.Put(b)
+	bufPool.Put(b) // want `b is released twice \(second release here\)`
+}
+
+// useAfter touches the value once it is back in the pool.
+func useAfter() {
+	b := bufPool.Get().(*buffer)
+	bufPool.Put(b)
+	consume(b) // want `b is used after being released to its pool`
+}
+
+// deferred covers every path with one defer: negative case.
+func deferred(n int) int {
+	b := bufPool.Get().(*buffer)
+	defer bufPool.Put(b)
+	if n > 0 {
+		return n
+	}
+	return len(b.data)
+}
+
+// handOff transfers ownership by returning the value: negative case.
+func handOff() *buffer {
+	b := bufPool.Get().(*buffer)
+	return b
+}
+
+// acquireLeak covers the Acquire* constructor form.
+func acquireLeak() {
+	b := acquireBuffer() // want `pooled value b acquired here is not released on every return path \(release it, defer its release, or hand it off\)`
+	_ = b
+}
+
+// acquireRelease pairs the constructor with the value's own Release.
+func acquireRelease() {
+	b := acquireBuffer()
+	b.Release()
+}
+
+// discard drops an acquired value on the floor.
+func discard() {
+	bufPool.Get() // want `pooled value acquired here is discarded without being released`
+}
+
+// suppressedLeak is acquireLeak under an ignore directive.
+func suppressedLeak() {
+	//cbvrvet:ignore poolguard fixture: leak kept to test suppression
+	b := bufPool.Get().(*buffer)
+	_ = b
+}

@@ -1,0 +1,30 @@
+package driver
+
+import (
+	"fmt"
+	"io"
+
+	"cbvr/tools/cbvrvet/analysis"
+)
+
+// Run loads the packages matching patterns, runs the analyzers over
+// each, prints findings to out, and returns the number of findings.
+// Directive or load errors abort the run.
+func Run(out io.Writer, dir string, patterns []string, analyzers []*analysis.Analyzer) (int, error) {
+	pkgs, err := Load(dir, patterns)
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, pkg := range pkgs {
+		findings, err := analysis.RunPackage(pkg, analyzers)
+		if err != nil {
+			return total, err
+		}
+		for _, f := range findings {
+			fmt.Fprintln(out, f.String())
+		}
+		total += len(findings)
+	}
+	return total, nil
+}

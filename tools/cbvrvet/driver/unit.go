@@ -1,0 +1,150 @@
+package driver
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+
+	"cbvr/tools/cbvrvet/analysis"
+)
+
+// unitConfig mirrors the JSON config the go command hands a -vettool
+// for each compilation unit (see cmd/vet and x/tools' unitchecker).
+// Only the fields cbvrvet consumes are listed.
+type unitConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// MaybeUnitVet detects the go-vet driver protocol and, when invoked
+// that way, services it and exits. It returns normally only when the
+// process was not started as a vettool, leaving the standalone CLI to
+// handle the arguments.
+//
+// Protocol (go vet -vettool=cbvrvet):
+//
+//	cbvrvet -V=full          print a version line with a buildID and exit
+//	cbvrvet -flags           print the JSON list of tool flags and exit
+//	cbvrvet <unit>.cfg       analyze one compilation unit
+func MaybeUnitVet(analyzers []*analysis.Analyzer) {
+	args := os.Args[1:]
+	if len(args) != 1 {
+		return
+	}
+	switch {
+	case strings.HasPrefix(args[0], "-V="):
+		printVersion()
+		os.Exit(0)
+	case args[0] == "-flags":
+		// cbvrvet exposes no per-unit flags to the go command.
+		fmt.Println("[]")
+		os.Exit(0)
+	case strings.HasSuffix(args[0], ".cfg"):
+		code, err := vetUnit(args[0], analyzers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cbvrvet: %v\n", err)
+			os.Exit(1)
+		}
+		os.Exit(code)
+	}
+}
+
+// printVersion emits the `-V=full` line the go command uses as a cache
+// key; hashing our own executable makes rebuilt tools invalidate stale
+// vet results.
+func printVersion() {
+	name := os.Args[0]
+	id := "unknown"
+	if exe, err := os.Executable(); err == nil {
+		if data, err := os.ReadFile(exe); err == nil {
+			id = fmt.Sprintf("%x", sha256.Sum256(data))
+		}
+	}
+	fmt.Printf("%s version devel cbvrvet buildID=%s\n", name, id)
+}
+
+// vetUnit analyzes one compilation unit described by a go-vet config
+// file. Findings go to stderr; the exit code is 1 when any survive.
+func vetUnit(cfgFile string, analyzers []*analysis.Analyzer) (int, error) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return 0, err
+	}
+	cfg := new(unitConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return 0, fmt.Errorf("parsing %s: %v", cfgFile, err)
+	}
+
+	// The go command always expects a facts file, even though cbvrvet
+	// keeps no cross-package facts; write an empty one up front so
+	// VetxOnly dependency visits succeed cheaply.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("cbvrvet-no-facts\n"), 0o666); err != nil {
+			return 0, fmt.Errorf("writing facts: %v", err)
+		}
+	}
+	if cfg.VetxOnly {
+		return 0, nil
+	}
+
+	fset := token.NewFileSet()
+	pkg, err := typeCheckUnit(fset, cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0, nil
+		}
+		return 0, err
+	}
+	findings, err := analysis.RunPackage(pkg, analyzers)
+	if err != nil {
+		return 0, err
+	}
+	for _, f := range findings {
+		fmt.Fprintln(os.Stderr, f.String())
+	}
+	if len(findings) > 0 {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// typeCheckUnit type-checks a unit the way the go command expects:
+// import paths go through cfg.ImportMap (vendoring), and export data
+// comes from cfg.PackageFile.
+func typeCheckUnit(fset *token.FileSet, cfg *unitConfig) (*analysis.Package, error) {
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	gc := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok || file == "" {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(path string) (*types.Package, error) {
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		return gc.Import(path)
+	})
+	return typeCheckFiles(fset, cfg.ImportPath, cfg.Dir, cfg.GoFiles, imp)
+}

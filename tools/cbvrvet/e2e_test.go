@@ -1,0 +1,92 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildVet compiles the cbvrvet binary once into t.TempDir.
+func buildVet(t *testing.T, repoRoot string) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "cbvrvet")
+	cmd := exec.Command("go", "build", "-o", bin, "./tools/cbvrvet")
+	cmd.Dir = repoRoot
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building cbvrvet: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Fatalf("repo root not at %s: %v", root, err)
+	}
+	return root
+}
+
+// TestVettoolSmoke runs the built binary the way CI does — through
+// `go vet -vettool` over the whole module — and requires a clean pass:
+// the tree's own directives must resolve and every analyzer must come
+// back without findings.
+func TestVettoolSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the module twice; skipped in -short")
+	}
+	root := repoRoot(t)
+	bin := buildVet(t, root)
+
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = root
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("go vet -vettool=cbvrvet ./... failed: %v\n%s", err, out.String())
+	}
+}
+
+// TestListCountsAnalyzers pins the -list output CI greps: five
+// analyzers, one per line, in registry order.
+func TestListCountsAnalyzers(t *testing.T) {
+	root := repoRoot(t)
+	bin := buildVet(t, root)
+
+	out, err := exec.Command(bin, "-list").Output()
+	if err != nil {
+		t.Fatalf("cbvrvet -list: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(out)), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("-list printed %d lines, want 5:\n%s", len(lines), out)
+	}
+	for i, name := range []string{"lockorder", "ctxloop", "poolguard", "noalloc", "errvet"} {
+		if !strings.HasPrefix(lines[i], name) {
+			t.Errorf("-list line %d = %q, want prefix %q", i, lines[i], name)
+		}
+	}
+}
+
+// TestVettoolProtocol exercises the unitchecker handshake go vet
+// performs before dispatching units: -V=full must print a version line
+// naming the tool.
+func TestVettoolProtocol(t *testing.T) {
+	root := repoRoot(t)
+	bin := buildVet(t, root)
+
+	out, err := exec.Command(bin, "-V=full").Output()
+	if err != nil {
+		t.Fatalf("cbvrvet -V=full: %v", err)
+	}
+	if !strings.Contains(string(out), "cbvrvet") || !strings.Contains(string(out), "buildID=") {
+		t.Errorf("-V=full output %q lacks tool name or buildID", out)
+	}
+}

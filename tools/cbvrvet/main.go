@@ -1,0 +1,55 @@
+// Command cbvrvet is the engine's static-analysis suite: five
+// analyzers (lockorder, ctxloop, poolguard, noalloc, errvet) that pin
+// the concurrency, pooling, context-cancellation and durability
+// invariants DESIGN.md documents ("Static analysis & enforced
+// invariants").
+//
+// Standalone:
+//
+//	go run ./tools/cbvrvet ./...            # analyze packages
+//	go run ./tools/cbvrvet -list            # print the analyzers
+//
+// As a go vet tool (the form CI uses, with go's per-package caching):
+//
+//	go build -o cbvrvet ./tools/cbvrvet
+//	go vet -vettool=$PWD/cbvrvet ./...
+//
+// Exits 1 when findings exist, 2 on usage or load errors. A malformed
+// //cbvrvet: directive is a hard error, never a silently disabled
+// check.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"cbvr/tools/cbvrvet/analyzers"
+	"cbvr/tools/cbvrvet/driver"
+)
+
+func main() {
+	suite := analyzers.All()
+	// go vet protocol (-V=full / -flags / unit.cfg) exits internally.
+	driver.MaybeUnitVet(suite)
+
+	args := os.Args[1:]
+	if len(args) > 0 && args[0] == "-list" {
+		for _, a := range suite {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: cbvrvet [-list] <package-pattern>...")
+		os.Exit(2)
+	}
+	n, err := driver.Run(os.Stderr, "", args, suite)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cbvrvet:", err)
+		os.Exit(2)
+	}
+	if n > 0 {
+		fmt.Fprintf(os.Stderr, "cbvrvet: %d finding(s)\n", n)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,217 @@
+// Package vettest is a stdlib-only stand-in for
+// golang.org/x/tools/go/analysis/analysistest: it loads fixture
+// packages from a testdata/src tree, runs analyzers over them, and
+// matches diagnostics against `// want "regexp"` comments.
+package vettest
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"cbvr/tools/cbvrvet/analysis"
+	"cbvr/tools/cbvrvet/driver"
+)
+
+// TestData returns the abs path of the testdata directory next to the
+// caller's test file.
+func TestData(t *testing.T) string {
+	t.Helper()
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// stdImporter type-checks fixture imports. Fixtures only import
+// standard-library packages (plus each other is unsupported — keep
+// them single-package), so the compiler's export data via go list is
+// enough; it is resolved once and cached for all fixture tests.
+var (
+	stdOnce    sync.Once
+	stdExports map[string]string
+	stdErr     error
+)
+
+func stdExportData(t *testing.T, imports []string) map[string]string {
+	t.Helper()
+	stdOnce.Do(func() {
+		stdExports, stdErr = driver.StdExports()
+	})
+	if stdErr != nil {
+		t.Fatalf("resolving std export data: %v", stdErr)
+	}
+	for _, path := range imports {
+		if _, ok := stdExports[path]; !ok && path != "unsafe" {
+			t.Fatalf("fixture imports %q, which is not in the preloaded std export set; add it to driver.StdExports", path)
+		}
+	}
+	return stdExports
+}
+
+// Run loads testdata/src/<pkgname> fixture packages and checks each
+// analyzer's diagnostics against the fixtures' want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgnames ...string) {
+	t.Helper()
+	for _, name := range pkgnames {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			runOne(t, filepath.Join(testdata, "src", name), name, a)
+		})
+	}
+}
+
+// expectation is one `// want "re"` comment.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	text string
+}
+
+// loadFixture parses and type-checks one fixture package directory.
+func loadFixture(t *testing.T, dir, name string) *analysis.Package {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var goFiles []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			goFiles = append(goFiles, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(goFiles) == 0 {
+		t.Fatalf("no fixture .go files in %s", dir)
+	}
+	sort.Strings(goFiles)
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	var imports []string
+	for _, gf := range goFiles {
+		f, err := parser.ParseFile(fset, gf, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, f)
+		for _, imp := range f.Imports {
+			if p, err := strconv.Unquote(imp.Path.Value); err == nil {
+				imports = append(imports, p)
+			}
+		}
+	}
+	exports := stdExportData(t, imports)
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	tc := &types.Config{Importer: driver.ExportImporter(fset, exports)}
+	tpkg, err := tc.Check(name, fset, files, info)
+	if err != nil {
+		t.Fatalf("type-checking fixture %s: %v", name, err)
+	}
+	return &analysis.Package{Path: name, Fset: fset, Files: files, Types: tpkg, Info: info}
+}
+
+// RunExpectError loads testdata/src/<pkgname> and asserts that running
+// the analyzer fails with an error matching errRe — the path for
+// malformed or unresolvable directives, which must fail the lint run
+// rather than silently disabling a check.
+func RunExpectError(t *testing.T, testdata string, a *analysis.Analyzer, pkgname, errRe string) {
+	t.Helper()
+	pkg := loadFixture(t, filepath.Join(testdata, "src", pkgname), pkgname)
+	_, err := analysis.RunPackage(pkg, []*analysis.Analyzer{a})
+	if err == nil {
+		t.Fatalf("running %s on fixture %s: want error matching %q, got none", a.Name, pkgname, errRe)
+	}
+	re, rerr := regexp.Compile(errRe)
+	if rerr != nil {
+		t.Fatalf("bad error regexp %q: %v", errRe, rerr)
+	}
+	if !re.MatchString(err.Error()) {
+		t.Fatalf("running %s on fixture %s: error %q does not match %q", a.Name, pkgname, err, errRe)
+	}
+}
+
+func runOne(t *testing.T, dir, name string, a *analysis.Analyzer) {
+	t.Helper()
+	pkg := loadFixture(t, dir, name)
+	fset, files := pkg.Fset, pkg.Files
+
+	findings, err := analysis.RunPackage(pkg, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on fixture %s: %v", a.Name, name, err)
+	}
+
+	wants := collectWants(t, fset, files)
+
+	// Match each finding to an unconsumed want on the same file:line.
+	for _, f := range findings {
+		matched := false
+		for i, w := range wants {
+			if w == nil || w.file != f.Pos.Filename || w.line != f.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(f.Message) {
+				wants[i] = nil
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", f.String())
+		}
+	}
+	for _, w := range wants {
+		if w != nil {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.text)
+		}
+	}
+}
+
+// wantRe accepts both quote styles analysistest does: double-quoted
+// and backquoted pattern strings.
+var wantRe = regexp.MustCompile("// want (\".*\"|`.*`)\\s*$")
+
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pat, err := strconv.Unquote(m[1])
+				if err != nil {
+					t.Fatalf("%s: bad want comment %q: %v", fset.Position(c.Pos()), c.Text, err)
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s: bad want regexp %q: %v", fset.Position(c.Pos()), pat, err)
+				}
+				pos := fset.Position(c.Pos())
+				wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re, text: pat})
+			}
+		}
+	}
+	return wants
+}

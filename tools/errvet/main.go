@@ -1,140 +1,35 @@
-// Command errvet is an errcheck-style analyzer for the storage write
-// path: it flags any Sync, Close or Truncate call whose error is silently
-// dropped — a bare expression statement, a defer, or an assignment to
-// blank — in the packages given on the command line. Durability bugs of
-// the fsyncgate family hide exactly behind such calls.
+// Command errvet is a thin shim kept for compatibility with existing
+// invocations (CI, scripts): the check itself migrated into the
+// cbvrvet multichecker as its fifth analyzer. This command runs just
+// that analyzer over the given package patterns.
 //
-// A drop that is genuinely intended (double-close on an already-failed
-// open, a simulated crash abandoning state) must carry an
-// "errvet:ignore <reason>" comment on the same line to pass.
+//	go run ./tools/errvet ./internal/vstore/...
 //
-//	go run ./tools/errvet ./internal/vstore ./internal/vstore/faultfs
-//
-// Exits non-zero when findings exist, so CI can gate on it. Test files
-// are skipped: t.Cleanup-style closes are idiomatic there.
+// Prefer `go run ./tools/cbvrvet ./...` (or `make vet`), which runs
+// the whole suite.
 package main
 
 import (
 	"fmt"
-	"go/ast"
-	"go/parser"
-	"go/token"
 	"os"
-	"path/filepath"
-	"strings"
-)
 
-// checked are the method names whose dropped errors this tool hunts.
-var checked = map[string]bool{"Sync": true, "Close": true, "Truncate": true}
+	"cbvr/tools/cbvrvet/analysis"
+	"cbvr/tools/cbvrvet/analyzers"
+	"cbvr/tools/cbvrvet/driver"
+)
 
 func main() {
 	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: errvet <package-dir>...")
+		fmt.Fprintln(os.Stderr, "usage: errvet <package-pattern>...")
 		os.Exit(2)
 	}
-	findings := 0
-	for _, dir := range os.Args[1:] {
-		n, err := vetDir(dir)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "errvet:", err)
-			os.Exit(2)
-		}
-		findings += n
+	n, err := driver.Run(os.Stderr, "", os.Args[1:], []*analysis.Analyzer{analyzers.Errvet})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "errvet:", err)
+		os.Exit(2)
 	}
-	if findings > 0 {
-		fmt.Fprintf(os.Stderr, "errvet: %d dropped error(s)\n", findings)
+	if n > 0 {
+		fmt.Fprintf(os.Stderr, "errvet: %d dropped error(s)\n", n)
 		os.Exit(1)
 	}
-}
-
-func vetDir(dir string) (int, error) {
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		return 0, err
-	}
-	findings := 0
-	for _, e := range entries {
-		name := e.Name()
-		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
-			continue
-		}
-		n, err := vetFile(filepath.Join(dir, name))
-		if err != nil {
-			return findings, err
-		}
-		findings += n
-	}
-	return findings, nil
-}
-
-func vetFile(path string) (int, error) {
-	fset := token.NewFileSet()
-	f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
-	if err != nil {
-		return 0, err
-	}
-	// Lines carrying an errvet:ignore annotation are exempt.
-	ignored := make(map[int]bool)
-	for _, cg := range f.Comments {
-		for _, c := range cg.List {
-			if strings.Contains(c.Text, "errvet:ignore") {
-				ignored[fset.Position(c.Pos()).Line] = true
-			}
-		}
-	}
-	findings := 0
-	report := func(call *ast.CallExpr, how string) {
-		pos := fset.Position(call.Pos())
-		if ignored[pos.Line] {
-			return
-		}
-		sel := call.Fun.(*ast.SelectorExpr)
-		fmt.Fprintf(os.Stderr, "%s: %s() error dropped (%s); handle it or annotate errvet:ignore\n",
-			pos, sel.Sel.Name, how)
-		findings++
-	}
-	ast.Inspect(f, func(n ast.Node) bool {
-		switch st := n.(type) {
-		case *ast.ExprStmt:
-			if call := checkedCall(st.X); call != nil {
-				report(call, "bare statement")
-			}
-		case *ast.DeferStmt:
-			if call := checkedCall(st.Call); call != nil {
-				report(call, "defer")
-			}
-		case *ast.AssignStmt:
-			// Only flag when every error destination is blank.
-			allBlank := true
-			for _, lhs := range st.Lhs {
-				if id, ok := lhs.(*ast.Ident); !ok || id.Name != "_" {
-					allBlank = false
-				}
-			}
-			if !allBlank {
-				return true
-			}
-			for _, rhs := range st.Rhs {
-				if call := checkedCall(rhs); call != nil {
-					report(call, "assigned to blank")
-				}
-			}
-		}
-		return true
-	})
-	return findings, nil
-}
-
-// checkedCall returns the call expression when expr is a method call to
-// one of the hunted names, nil otherwise.
-func checkedCall(expr ast.Expr) *ast.CallExpr {
-	call, ok := expr.(*ast.CallExpr)
-	if !ok {
-		return nil
-	}
-	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok || !checked[sel.Sel.Name] {
-		return nil
-	}
-	return call
 }
