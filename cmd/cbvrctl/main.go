@@ -422,6 +422,15 @@ func cmdStats(args []string) error {
 	fmt.Printf("wal records:  %d\n", ds.WALRecords)
 	fmt.Printf("recovered:    %d txns at open\n", ds.Recovered)
 
+	// Cell-index view: warms the search cache, so this reports exactly
+	// the pruning state a search in this process would run against.
+	cs, err := sys.Engine().CellStats()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("cell index:   %d/%d shards built, %d cells over %d rows, %d rebuilds\n",
+		cs.BuiltShards, cs.Shards, cs.Cells, cs.IndexedRows, cs.Rebuilds)
+
 	if _, err := synthvid.ParseCategory("sports"); err == nil && nk > 0 {
 		// Per-category frame counts when the corpus is synthetic.
 		counts := make(map[string]int)

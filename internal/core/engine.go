@@ -44,6 +44,10 @@ type Options struct {
 	// the default. Stored key-frame images and the key-frame stream reuse
 	// the container's original JPEG bytes, so no quality applies there.
 	JPEGQuality int
+	// Cells tunes the per-shard coarse-cell candidate pruner (see
+	// cells.go). The zero value enables it with defaults; small corpora
+	// stay on the exact sweep via the MinShardRows floor regardless.
+	Cells CellOptions
 	// Store tunes the underlying vstore database.
 	Store vstore.Options
 }
@@ -77,6 +81,10 @@ type SearchOptions struct {
 	// NoPruning disables the §4.2 range-index candidate pruning and scans
 	// every key frame (used by the pruning ablation).
 	NoPruning bool
+	// NoCellPruning disables the coarse-cell candidate pruner for this
+	// call: every candidate row is kernel-swept exactly as before the
+	// pruner existed (the exact baseline for recall evaluation).
+	NoCellPruning bool
 	// Workers overrides the engine's query-time parallelism for this call
 	// only: the number of goroutines scoring cache shards. <= 0 uses the
 	// engine default (Options.Workers, else GOMAXPROCS); 1 runs the whole
@@ -139,9 +147,14 @@ type Engine struct {
 	mu     sync.RWMutex
 	shards []map[int64]*frameEntry // key-frame ID -> parsed descriptors, by id mod N
 	arenas []*shardArena           // per-shard packed descriptor columns (see arena.go)
+	cells  []*shardCells           // per-shard coarse pruning cells (see cells.go)
 	index  *rangeindex.ShardedIndex
 	vname  map[int64]string // video ID -> name
 	warm   bool
+
+	// tally accumulates per-search work counters (atomic, written outside
+	// the engine lock) for the stats surfaces.
+	tally searchTally
 
 	// reindexHook, when set by tests, fires at named points inside
 	// ReindexVideo's replacement transaction (fault injection).
@@ -172,11 +185,14 @@ func Open(path string, opts Options) (*Engine, error) {
 		return nil, err
 	}
 	n := searchShardCount(opts)
+	cellCfg := opts.Cells.withDefaults()
 	shards := make([]map[int64]*frameEntry, n)
 	arenas := make([]*shardArena, n)
+	cells := make([]*shardCells, n)
 	for i := range shards {
 		shards[i] = make(map[int64]*frameEntry)
 		arenas[i] = newShardArena()
+		cells[i] = newShardCells(cellCfg)
 	}
 	return &Engine{
 		store:   st,
@@ -184,6 +200,7 @@ func Open(path string, opts Options) (*Engine, error) {
 		rasters: newRasterPool(),
 		shards:  shards,
 		arenas:  arenas,
+		cells:   cells,
 		index:   rangeindex.NewSharded(n),
 		vname:   make(map[int64]string),
 	}, nil
@@ -226,6 +243,7 @@ func (e *Engine) putEntry(en *frameEntry) {
 	}
 	e.shards[s][en.id] = en
 	e.arenas[s].insert(en)
+	e.cells[s].onInsert(e.arenas[s], en.slot)
 	e.index.Insert(en.id, en.bucket)
 }
 
@@ -248,6 +266,7 @@ func (e *Engine) replaceEntry(en *frameEntry) {
 	ar := e.arenas[s]
 	ar.ents[en.slot] = en
 	ar.repack(en)
+	e.cells[s].onRepack(ar, en.slot)
 	e.index.Insert(en.id, en.bucket)
 }
 
@@ -691,7 +710,9 @@ func (e *Engine) DeleteVideo(videoID int64) error {
 		for id, en := range sh {
 			if en.videoID == videoID {
 				delete(sh, id)
+				slot := en.slot
 				e.arenas[si].remove(en)
+				e.cells[si].onRemove(e.arenas[si], slot)
 				e.index.Remove(id, en.bucket)
 			}
 		}

@@ -61,6 +61,11 @@ type scanScratch struct {
 	buf   []float64 // candidate-major distance rows, len n*nk
 	col   []float64 // kind-major kernel output, len n
 	cands []scored
+
+	// Cell-pruning scratch: per-cell lower bounds and the bound-sorted
+	// cell visit order (see cells.go). Sized by growCells.
+	cellLB  []float64
+	cellOrd []int32
 }
 
 var scanScratchPool = sync.Pool{New: func() any { return new(scanScratch) }}
@@ -91,6 +96,18 @@ func (s *scanScratch) grow(n, nk int) {
 	}
 	s.buf = s.buf[:n*nk]
 	s.col = s.col[:n]
+}
+
+// growCells readies the per-cell bound scratch for nc cells.
+func (s *scanScratch) growCells(nc int) {
+	if cap(s.cellLB) < nc {
+		s.cellLB = make([]float64, nc)
+	}
+	if cap(s.cellOrd) < nc {
+		s.cellOrd = make([]int32, nc)
+	}
+	s.cellLB = s.cellLB[:nc]
+	s.cellOrd = s.cellOrd[:nc]
 }
 
 // release drops entry references over the full backing arrays (so

@@ -129,14 +129,30 @@ type shardPart struct {
 	cands   []scored
 	scalers []similarity.MinMaxScaler // per kind; nil unless min-max fusion
 	scratch *scanScratch
+	stats   scanStats
+}
+
+// scanStats counts one shard scan's work for the search-wide SearchStats.
+type scanStats struct {
+	baseRows  int   // candidate rows an exact sweep would score
+	rowEvals  int64 // per-kind row kernel evaluations performed
+	cellEvals int64 // per-kind centroid bound evaluations performed
+	pruned    bool  // a cell-pruned path ran (vs the exact sweep)
 }
 
 // searchSet is the scoring half of SearchFrame: the concurrent sharded
 // pipeline. It is deterministic — identical rankings and distances at any
 // worker count, matching searchSetReference.
 func (e *Engine) searchSet(ctx context.Context, qset *features.Set, qbucket rangeindex.Range, opt SearchOptions) ([]Match, error) {
+	out, _, err := e.searchSetStats(ctx, qset, qbucket, opt)
+	return out, err
+}
+
+// searchSetStats is searchSet with the per-search work counters surfaced
+// (and folded into the engine-wide tally either way).
+func (e *Engine) searchSetStats(ctx context.Context, qset *features.Set, qbucket rangeindex.Range, opt SearchOptions) ([]Match, SearchStats, error) {
 	if err := e.warmCache(); err != nil {
-		return nil, err
+		return nil, SearchStats{}, err
 	}
 	e.mu.RLock()
 	defer e.mu.RUnlock()
@@ -144,7 +160,7 @@ func (e *Engine) searchSet(ctx context.Context, qset *features.Set, qbucket rang
 	kinds := opt.kinds()
 	for _, kind := range kinds {
 		if qset.Get(kind) == nil {
-			return nil, fmt.Errorf("core: query lacks %v descriptor", kind)
+			return nil, SearchStats{}, fmt.Errorf("core: query lacks %v descriptor", kind)
 		}
 	}
 	pq := packQuery(qset, kinds)
@@ -176,11 +192,28 @@ func (e *Engine) searchSet(ctx context.Context, qset *features.Set, qbucket rang
 			cancelled.Store(true)
 			return
 		}
-		parts[si] = e.scanShard(si, pq, qbucket, opt.NoPruning, needScalers)
+		parts[si] = e.scanShard(si, pq, qbucket, &opt, needScalers)
 	})
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, SearchStats{}, err
 	}
+
+	// Fold the per-shard work counters into the search-wide stats and the
+	// engine tally.
+	stats := SearchStats{Kinds: len(kinds), K: opt.K}
+	for si := range parts {
+		st := &parts[si].stats
+		stats.BaseRows += int64(st.baseRows)
+		stats.Candidates += int64(len(parts[si].cands))
+		stats.RowEvals += st.rowEvals
+		stats.CellEvals += st.cellEvals
+		if st.pruned {
+			stats.PrunedShards++
+		} else if st.baseRows > 0 {
+			stats.ExactShards++
+		}
+	}
+	e.tally.add(&stats)
 
 	// Flatten to one candidate view, remembering each shard's range so
 	// selection can stay shard-parallel.
@@ -189,7 +222,7 @@ func (e *Engine) searchSet(ctx context.Context, qset *features.Set, qbucket rang
 		total += len(parts[si].cands)
 	}
 	if total == 0 {
-		return nil, nil
+		return nil, stats, nil
 	}
 	all := make([]scored, 0, total)
 	bounds := make([][2]int, nShards)
@@ -267,34 +300,41 @@ func (e *Engine) searchSet(ctx context.Context, qset *features.Set, qbucket rang
 			Distance:   r.Distance,
 		}
 	}
-	return out, nil
+	return out, stats, nil
 }
 
 // scanShard scores one cache shard's candidates against the packed
-// query: candidate rows are gathered (all live arena slots, or the
-// range-pruned subset), then each requested kind's batched kernel sweeps
-// the shard's contiguous column — no interface dispatch, no
-// per-candidate allocation — into pooled scratch, which is transposed to
-// the per-candidate distance rows the fusion phase consumes. Callers
-// must hold e.mu for reading; the returned part's scratch must be
-// released once its rows are no longer referenced.
-func (e *Engine) scanShard(si int, pq *PackedQuery, qbucket rangeindex.Range, noPruning, needScalers bool) shardPart {
+// query. The candidate set is the shard's live arena rows, or the
+// range-pruned subset of them. When the shard's cell index can certify
+// bounds for the request (see shardCells.usable), only surviving cells
+// are kernel-swept; otherwise — tiny shards, unbuilt indexes, K <= 0,
+// degenerate kind mixes, budgets that cover everything — the exact full
+// sweep runs, bit-identical to the pre-pruner pipeline. Callers must
+// hold e.mu for reading; the returned part's scratch must be released
+// once its rows are no longer referenced.
+func (e *Engine) scanShard(si int, pq *PackedQuery, qbucket rangeindex.Range, opt *SearchOptions, needScalers bool) shardPart {
 	ar := e.arenas[si]
 	nk := len(pq.kinds)
 	var ids []int64
-	n := len(ar.live)
-	if !noPruning {
+	n0 := len(ar.live)
+	if !opt.NoPruning {
 		ids = e.index.Shard(si).Candidates(qbucket)
-		n = len(ids)
+		n0 = len(ids)
 	}
-	if n == 0 {
+	if n0 == 0 {
 		return shardPart{}
 	}
 
+	if e.cells[si].usable(opt, n0) {
+		if part, ok := e.scanShardCells(si, pq, qbucket, opt, needScalers, n0); ok {
+			return part
+		}
+	}
+
 	sc := scanScratchPool.Get().(*scanScratch)
-	sc.grow(n, nk)
+	sc.grow(n0, nk)
 	var rows []int32
-	if noPruning {
+	if opt.NoPruning {
 		rows = ar.live
 		for _, s := range rows {
 			sc.sel = append(sc.sel, ar.ents[s])
@@ -313,7 +353,20 @@ func (e *Engine) scanShard(si int, pq *PackedQuery, qbucket rangeindex.Range, no
 			return shardPart{}
 		}
 	}
-	n = len(sc.sel)
+	part := sweepArenaRows(ar, pq, sc, rows, needScalers)
+	part.stats = scanStats{baseRows: n0, rowEvals: int64(len(rows)) * int64(nk)}
+	return part
+}
+
+// sweepArenaRows is the shared kernel sweep: each requested kind's
+// batched kernel runs over the gathered rows of the shard's contiguous
+// columns — no interface dispatch, no per-candidate allocation — into
+// the pooled scratch, which is transposed to the per-candidate distance
+// rows the fusion phase consumes. sc.sel must already hold the entries
+// matching rows.
+func sweepArenaRows(ar *shardArena, pq *PackedQuery, sc *scanScratch, rows []int32, needScalers bool) shardPart {
+	nk := len(pq.kinds)
+	n := len(sc.sel)
 	buf := sc.buf[:n*nk]
 	col := sc.col[:n]
 	part := shardPart{cands: sc.cands[:n], scratch: sc}
@@ -349,6 +402,194 @@ func (e *Engine) scanShard(si int, pq *PackedQuery, qbucket rangeindex.Range, no
 		part.cands[i] = scored{en: en, d: buf[i*nk : (i+1)*nk : (i+1)*nk]}
 	}
 	return part
+}
+
+// scanShardCells is the cell-pruned scan. It returns ok=false when the
+// request cannot profit from (or be certified under) the bounds, in
+// which case the caller runs the exact sweep.
+//
+// Single-kind requests are exact: cells are visited in ascending
+// lower-bound order while a local top-K heap tracks the worst kept
+// distance, and the sweep stops at the first cell whose bound strictly
+// exceeds it. Every row that could appear in the shard's top K — even on
+// distance ties, since a tying row's bound cannot exceed the tied worst
+// — has then been scored, so the fusion phase selects exactly what the
+// full sweep would (the strict > keeps equal-distance smaller-ID rows).
+//
+// Fused multi-kind requests probe: cells are ranked by reciprocal-rank
+// fusion of their per-kind query→centroid distances — the same scale-free
+// rank semantics the probed candidates are fused under, so a cell near
+// the query in several kinds is probed first regardless of each kernel's
+// magnitude. (Neither the radius-clamped bound — which saturates to 0 on
+// every wide cell and degenerates into index-order ties exactly where
+// ordering matters most — nor a fixed-scale distance sum — which lets the
+// largest-magnitude kernel drown out the kinds that actually separate the
+// data — survives contact with rank fusion.) Cells are gathered
+// best-first until the probe budget is reached, then swept like any other
+// candidate set. Rank fusion over the probed subset is not guaranteed
+// identical to the full sweep; eval/recall.go holds it to the recall
+// threshold.
+func (e *Engine) scanShardCells(si int, pq *PackedQuery, qbucket rangeindex.Range, opt *SearchOptions, needScalers bool, n0 int) (shardPart, bool) {
+	for _, kind := range pq.kinds {
+		if !features.BoundSupported(kind) {
+			return shardPart{}, false
+		}
+	}
+	ar := e.arenas[si]
+	cl := e.cells[si]
+	nk := len(pq.kinds)
+	single := nk == 1
+	var budget int
+	if single {
+		if opt.K >= n0 {
+			return shardPart{}, false // the heap could never prune a cell
+		}
+	} else {
+		budget = cl.cfg.MinProbeRows
+		if f := int(cl.cfg.ProbeFraction * float64(n0)); f > budget {
+			budget = f
+		}
+		if opt.K > budget {
+			budget = opt.K
+		}
+		if budget >= n0 {
+			return shardPart{}, false // probing everything is just the exact sweep
+		}
+	}
+
+	sc := scanScratchPool.Get().(*scanScratch)
+	sc.grow(n0, nk)
+	sc.growCells(cl.n)
+	ranged := !opt.NoPruning
+
+	// Per-cell visit keys, then the ascending visit order (ties by cell
+	// index, so the sweep is deterministic). The single-kind path needs
+	// the radius-clamped lower bound — the heap cut-off depends on it
+	// being a true bound — while the fused probe wants pure centroid
+	// proximity as its rank signal.
+	var cellEvals int64
+	if single {
+		kind := pq.kinds[0]
+		features.BatchLowerBound(kind, pq.vec[0], cl.cent[kind], cl.rad[kind], sc.cellLB)
+		cellEvals = int64(cl.n)
+	} else {
+		// RRF over per-kind centroid ranks, negated so the shared
+		// ascending sort below visits the best-fused cell first.
+		dist := make([]float64, cl.n)
+		ord := make([]int32, cl.n)
+		for ci := 0; ci < cl.n; ci++ {
+			sc.cellLB[ci] = 0
+		}
+		for ki, kind := range pq.kinds {
+			for ci := 0; ci < cl.n; ci++ {
+				dist[ci] = features.PairDistance(kind, pq.vec[ki], cl.centRow(kind, int32(ci)))
+			}
+			for i := range ord {
+				ord[i] = int32(i)
+			}
+			slices.SortFunc(ord, func(a, b int32) int {
+				da, db := dist[a], dist[b]
+				switch {
+				case da < db:
+					return -1
+				case da > db:
+					return 1
+				case a < b:
+					return -1
+				}
+				return 1
+			})
+			for r, ci := range ord {
+				sc.cellLB[ci] -= 1 / float64(similarity.RRFConstant+r+1)
+			}
+		}
+		cellEvals = int64(cl.n) * int64(nk)
+	}
+	for i := range sc.cellOrd {
+		sc.cellOrd[i] = int32(i)
+	}
+	slices.SortFunc(sc.cellOrd, func(a, b int32) int {
+		la, lb := sc.cellLB[a], sc.cellLB[b]
+		switch {
+		case la < lb:
+			return -1
+		case la > lb:
+			return 1
+		case a < b:
+			return -1
+		}
+		return 1
+	})
+
+	gather := func(ci int32) int {
+		start := len(sc.rows)
+		for _, slot := range cl.members[ci] {
+			if ranged && !ar.ents[slot].bucket.Overlaps(qbucket) {
+				continue
+			}
+			sc.rows = append(sc.rows, slot)
+			sc.sel = append(sc.sel, ar.ents[slot])
+		}
+		return start
+	}
+
+	if single {
+		kind := pq.kinds[0]
+		qv := pq.vec[0]
+		heap := similarity.NewTopK(opt.K)
+		for _, ci := range sc.cellOrd {
+			if heap.Len() == opt.K {
+				if w, _ := heap.Worst(); sc.cellLB[ci] > w.Distance {
+					break // bound certifies: nothing left can enter the top K
+				}
+			}
+			start := gather(ci)
+			batch := sc.rows[start:]
+			if len(batch) == 0 {
+				continue
+			}
+			// nk == 1, so the candidate-major buf is the kind column.
+			out := sc.buf[start : start+len(batch)]
+			features.BatchDistance(kind, qv, ar.cols[kind], batch, out)
+			if ar.missing[kind] > 0 {
+				pres := ar.present[kind]
+				for i, s := range batch {
+					if !pres[s] {
+						out[i] = missingDistance
+					}
+				}
+			}
+			for i, dv := range out {
+				heap.Push(similarity.Ranked{ID: sc.sel[start+i].id, Distance: dv})
+			}
+		}
+		n := len(sc.sel)
+		part := shardPart{cands: sc.cands[:n], scratch: sc}
+		for i, en := range sc.sel {
+			part.cands[i] = scored{en: en, d: sc.buf[i : i+1 : i+1]}
+		}
+		part.stats = scanStats{baseRows: n0, rowEvals: int64(n), cellEvals: cellEvals, pruned: true}
+		return part, true
+	}
+
+	for _, ci := range sc.cellOrd {
+		if len(sc.rows) >= budget {
+			break
+		}
+		gather(ci)
+	}
+	// Truncating the last cell at the exact budget is safe here (unlike
+	// the single-kind path, where bounds reason about whole cells): the
+	// probe is approximate either way, members are ID-ordered, and the
+	// cut keeps paid work equal to the budget instead of overshooting by
+	// up to a cell.
+	if len(sc.rows) > budget {
+		sc.rows = sc.rows[:budget]
+		sc.sel = sc.sel[:budget]
+	}
+	part := sweepArenaRows(ar, pq, sc, sc.rows, needScalers)
+	part.stats = scanStats{baseRows: n0, rowEvals: int64(len(sc.rows)) * int64(nk), cellEvals: cellEvals, pruned: true}
+	return part, true
 }
 
 // rrfScores reproduces similarity.RRF + Normalize over the flattened

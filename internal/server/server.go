@@ -92,6 +92,7 @@ func New(eng *core.Engine, opts Options) *Server {
 	s.mux.HandleFunc("/api/v1/videos", s.handleVideos)
 	s.mux.HandleFunc("/api/v1/ingest", s.handleIngest)
 	s.mux.HandleFunc("/api/v1/reindex", s.handleReindex)
+	s.mux.HandleFunc("/api/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	return s
 }
@@ -412,6 +413,26 @@ func (s *Server) handleReindex(w http.ResponseWriter, r *http.Request) {
 		out[i] = reindexJSON{VideoID: res.VideoID, VideoName: res.VideoName, KeyFrames: res.KeyFrames}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"reindexed": out})
+}
+
+// handleStats reports the engine's cumulative search work counters and
+// the state of the per-shard cell index — the operational view of the
+// candidate pruner (how much of the corpus searches actually scan, and
+// how much of it the cells cover).
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		methodErr(w, http.MethodGet)
+		return
+	}
+	cells, err := s.eng.CellStats()
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"search": s.eng.SearchTally(),
+		"cells":  cells,
+	})
 }
 
 // isMultipart reports whether the request body is multipart/form-data.
