@@ -41,11 +41,15 @@ func main() {
 
 func run() int {
 	var (
-		db         = flag.String("db", "cbvr.db", "database path")
-		addr       = flag.String("addr", ":8081", "listen address")
-		maxUpload  = flag.Int64("max-upload", server.DefaultMaxUploadBytes, "request body cap in bytes")
-		maxIngests = flag.Int("max-ingests", 0, "max concurrently admitted ingests (0 = 2×GOMAXPROCS)")
-		drain      = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
+		db             = flag.String("db", "cbvr.db", "database path")
+		addr           = flag.String("addr", ":8081", "listen address")
+		maxUpload      = flag.Int64("max-upload", server.DefaultMaxUploadBytes, "request body cap in bytes")
+		maxIngests     = flag.Int("max-ingests", 0, "max concurrently admitted ingests (0 = 2×GOMAXPROCS)")
+		drain          = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
+		searchDeadline = flag.Duration("search-deadline", server.DefaultSearchDeadline, "server-assigned deadline for search/read requests")
+		mutateDeadline = flag.Duration("mutate-deadline", server.DefaultMutateDeadline, "server-assigned deadline for ingest/reindex/delete")
+		maxDeadline    = flag.Duration("max-deadline", server.DefaultMaxDeadline, "cap on the X-CBVR-Deadline-Ms client override")
+		bodyStall      = flag.Duration("body-stall", server.DefaultBodyStallTimeout, "per-read upload stall watchdog (negative disables)")
 	)
 	flag.Parse()
 
@@ -57,8 +61,21 @@ func run() int {
 	api := server.New(sys.Engine(), server.Options{
 		MaxUploadBytes:     *maxUpload,
 		MaxInFlightIngests: *maxIngests,
+		SearchDeadline:     *searchDeadline,
+		MutateDeadline:     *mutateDeadline,
+		MaxDeadline:        *maxDeadline,
+		BodyStallTimeout:   *bodyStall,
 	})
-	httpSrv := &http.Server{Handler: api}
+	// Header and idle timeouts bound what a connection may cost before it
+	// carries an admitted request; body pace is the watchdog's job (a
+	// blanket ReadTimeout would cut legitimately long uploads), and the
+	// write timeout must outlive the longest admissible deadline.
+	httpSrv := &http.Server{
+		Handler:           api,
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+		WriteTimeout:      *maxDeadline + time.Minute,
+	}
 
 	// Listen explicitly so ":0" reports its chosen port (tests depend on
 	// this line to find the server).

@@ -20,11 +20,13 @@ package main
 import (
 	"context"
 	"flag"
+	"io"
 	"fmt"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"cbvr"
 	"cbvr/internal/eval"
@@ -145,18 +147,28 @@ func cmdIngest(ctx context.Context, args []string) error {
 	db := fs.String("db", "", "database path")
 	file := fs.String("file", "", "CVJ container file")
 	name := fs.String("name", "", "video name (default: file name)")
+	server := fs.String("server", "", "cbvr-server base URL (remote mode; replaces -db)")
+	retries := fs.Int("retries", 4, "remote mode: retry attempts beyond the first")
+	timeout := fs.Duration("timeout", 30*time.Second, "remote mode: per-attempt budget")
 	fs.Parse(args)
 	if *file == "" {
 		return fmt.Errorf("missing -file flag")
+	}
+	if *name == "" {
+		*name = strings.TrimSuffix(*file, ".cvj")
+	}
+	if *server != "" {
+		// Remote mode reopens the file per attempt: a half-sent body from
+		// a shed attempt cannot be replayed.
+		return remoteIngest(ctx, newRetryClient(*retries, *timeout), *server, *name, func() (io.ReadCloser, error) {
+			return os.Open(*file)
+		})
 	}
 	f, err := os.Open(*file)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	if *name == "" {
-		*name = strings.TrimSuffix(*file, ".cvj")
-	}
 	sys, err := openSystem(*db)
 	if err != nil {
 		return err
@@ -215,9 +227,22 @@ func cmdQuery(ctx context.Context, args []string) error {
 	k := fs.Int("k", 10, "result count")
 	kindsFlag := fs.String("features", "", "comma-separated feature subset (default: all)")
 	noPrune := fs.Bool("noprune", false, "disable range-index pruning")
+	server := fs.String("server", "", "cbvr-server base URL (remote mode; replaces -db)")
+	retries := fs.Int("retries", 4, "remote mode: retry attempts beyond the first")
+	timeout := fs.Duration("timeout", 30*time.Second, "remote mode: per-attempt budget")
 	fs.Parse(args)
 	if *image == "" {
 		return fmt.Errorf("missing -image flag")
+	}
+	if *server != "" {
+		if *kindsFlag != "" || *noPrune {
+			return fmt.Errorf("-features and -noprune are local-only; the server chooses its own search plan")
+		}
+		jpeg, err := os.ReadFile(*image)
+		if err != nil {
+			return err
+		}
+		return remoteQuery(ctx, newRetryClient(*retries, *timeout), *server, jpeg, *k)
 	}
 	f, err := os.Open(*image)
 	if err != nil {
@@ -372,7 +397,13 @@ func cmdReindex(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("reindex", flag.ExitOnError)
 	db := fs.String("db", "", "database path")
 	id := fs.Int64("id", 0, "video id (0 = every stored video)")
+	server := fs.String("server", "", "cbvr-server base URL (remote mode; replaces -db)")
+	retries := fs.Int("retries", 4, "remote mode: retry attempts beyond the first")
+	timeout := fs.Duration("timeout", 5*time.Minute, "remote mode: per-attempt budget (a sweep reextracts everything)")
 	fs.Parse(args)
+	if *server != "" {
+		return remoteReindex(ctx, newRetryClient(*retries, *timeout), *server, *id)
+	}
 	sys, err := openSystem(*db)
 	if err != nil {
 		return err

@@ -1,0 +1,278 @@
+// Remote mode: ingest, query and reindex can target a running cbvr-server
+// (-server URL) instead of opening the database file directly. All remote
+// calls share one retrying HTTP client that speaks the server's overload
+// protocol: exponential backoff with jitter, Retry-After honored as the
+// minimum wait, and a circuit that opens after consecutive 5xx responses
+// so a dying server is not hammered to the last retry.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+)
+
+// errCircuitOpen is returned once the server has answered with too many
+// consecutive 5xx responses; further attempts are refused without I/O.
+var errCircuitOpen = errors.New("circuit open: server is persistently failing")
+
+// defaultCircuitAt is the consecutive-5xx count that opens the circuit.
+const defaultCircuitAt = 5
+
+// retryClient wraps http.Client with the backoff policy every remote
+// subcommand shares. The sleep and jitter hooks exist for tests; zero
+// values select real time and real randomness.
+type retryClient struct {
+	hc      *http.Client
+	retries int           // attempts beyond the first
+	timeout time.Duration // per-attempt budget
+	circuit int           // consecutive 5xx before the circuit opens
+
+	consec5xx int
+
+	// sleep waits out a backoff, returning early with the context error if
+	// the context dies first. Tests swap it to record rather than wait.
+	sleep func(context.Context, time.Duration) error
+	// jitter maps a base backoff onto the waited duration. The default is
+	// the half-jitter rule: base/2 + uniform(0, base/2), which decorrelates
+	// a fleet of clients without ever waiting less than half the base.
+	jitter func(time.Duration) time.Duration
+}
+
+func newRetryClient(retries int, timeout time.Duration) *retryClient {
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	return &retryClient{
+		hc:      &http.Client{},
+		retries: retries,
+		timeout: timeout,
+		circuit: defaultCircuitAt,
+		sleep: func(ctx context.Context, d time.Duration) error {
+			t := time.NewTimer(d)
+			defer t.Stop()
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-t.C:
+				return nil
+			}
+		},
+		jitter: func(base time.Duration) time.Duration {
+			return base/2 + time.Duration(rng.Int63n(int64(base/2)+1))
+		},
+	}
+}
+
+// retryableStatus reports whether a response status warrants another
+// attempt: explicit backpressure (429), and every 5xx — the server's
+// overload and degraded responses (503) included.
+func retryableStatus(code int) bool {
+	return code == http.StatusTooManyRequests || code >= 500
+}
+
+// retryAfterOf parses the Retry-After header as delay seconds; 0 if
+// absent or unparseable (HTTP-date form is not worth supporting here —
+// the cbvr server always sends delta-seconds).
+func retryAfterOf(resp *http.Response) time.Duration {
+	sec, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || sec <= 0 {
+		return 0
+	}
+	return time.Duration(sec) * time.Second
+}
+
+// do performs one logical request with retries. mkBody produces a fresh
+// body per attempt (a consumed body cannot be replayed). The returned
+// response is always non-retryable (2xx or a terminal 4xx); its body is
+// the caller's to close.
+func (c *retryClient) do(ctx context.Context, method, url string, mkBody func() (io.ReadCloser, error)) (*http.Response, error) {
+	backoff := 250 * time.Millisecond
+	var lastErr error
+	for attempt := 0; attempt <= c.retries; attempt++ {
+		// The surrounding signal context ends retrying immediately: a ^C
+		// must not sit out a multi-second backoff.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if c.consec5xx >= c.circuit {
+			return nil, fmt.Errorf("%w (%d consecutive 5xx)", errCircuitOpen, c.consec5xx)
+		}
+		body, err := mkBody()
+		if err != nil {
+			return nil, err
+		}
+		actx, cancel := context.WithTimeout(ctx, c.timeout)
+		req, err := http.NewRequestWithContext(actx, method, url, body)
+		if err != nil {
+			body.Close()
+			cancel()
+			return nil, err
+		}
+		resp, err := c.hc.Do(req)
+		var wait time.Duration
+		switch {
+		case err != nil:
+			cancel()
+			lastErr = err
+		case !retryableStatus(resp.StatusCode):
+			c.consec5xx = 0
+			resp.Body = &cancelOnClose{ReadCloser: resp.Body, cancel: cancel}
+			return resp, nil
+		default:
+			if resp.StatusCode >= 500 {
+				c.consec5xx++
+			} else {
+				c.consec5xx = 0
+			}
+			wait = retryAfterOf(resp)
+			snippet, _ := io.ReadAll(io.LimitReader(resp.Body, 200))
+			resp.Body.Close()
+			cancel()
+			lastErr = fmt.Errorf("server returned %s: %s", resp.Status, snippet)
+		}
+		if attempt == c.retries {
+			break
+		}
+		d := c.jitter(backoff)
+		if wait > d {
+			d = wait // Retry-After is a floor, not a suggestion
+		}
+		if err := c.sleep(ctx, d); err != nil {
+			return nil, err
+		}
+		backoff *= 2
+	}
+	return nil, fmt.Errorf("giving up after %d attempts: %w", c.retries+1, lastErr)
+}
+
+// cancelOnClose ties an attempt's timeout context to the response body,
+// so the per-attempt budget stops ticking only when the caller is done
+// reading.
+type cancelOnClose struct {
+	io.ReadCloser
+	cancel context.CancelFunc
+}
+
+func (c *cancelOnClose) Close() error {
+	err := c.ReadCloser.Close()
+	c.cancel()
+	return err
+}
+
+// decodeJSON reads and decodes a response body, closing it.
+func decodeJSON(resp *http.Response, out any) error {
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		return fmt.Errorf("bad server response %q: %w", raw, err)
+	}
+	return nil
+}
+
+// remoteIngest streams a container file to POST /api/v1/ingest. openBody
+// reopens the file per attempt.
+func remoteIngest(ctx context.Context, c *retryClient, server, name string, openBody func() (io.ReadCloser, error)) error {
+	u := server + "/api/v1/ingest?name=" + url.QueryEscape(name)
+	resp, err := c.do(ctx, http.MethodPost, u, openBody)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return readErrBody(resp)
+	}
+	var res struct {
+		VideoID     int64   `json:"video_id"`
+		NumFrames   int     `json:"num_frames"`
+		KeyFrameIDs []int64 `json:"key_frame_ids"`
+	}
+	if err := decodeJSON(resp, &res); err != nil {
+		return err
+	}
+	fmt.Printf("ingested %s: video=%d frames=%d keyframes=%d\n", name, res.VideoID, res.NumFrames, len(res.KeyFrameIDs))
+	return nil
+}
+
+// remoteQuery posts a JPEG to POST /api/v1/search and prints the ranking
+// in the same table the local path uses.
+func remoteQuery(ctx context.Context, c *retryClient, server string, jpeg []byte, k int) error {
+	url := fmt.Sprintf("%s/api/v1/search?k=%d", server, k)
+	resp, err := c.do(ctx, http.MethodPost, url, byteBody(jpeg))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return readErrBody(resp)
+	}
+	if lvl := resp.Header.Get("X-CBVR-Brownout"); lvl != "" && lvl != "0.000" {
+		fmt.Printf("note: server browned out (level %s); ranking is budget-limited\n", lvl)
+	}
+	var res struct {
+		Matches []struct {
+			KeyFrameID int64   `json:"key_frame_id"`
+			VideoName  string  `json:"video_name"`
+			FrameIndex int     `json:"frame_index"`
+			Distance   float64 `json:"distance"`
+		} `json:"matches"`
+	}
+	if err := decodeJSON(resp, &res); err != nil {
+		return err
+	}
+	fmt.Printf("%-4s %-8s %-20s %-8s %s\n", "RANK", "FRAME", "VIDEO", "IDX", "DISTANCE")
+	for i, m := range res.Matches {
+		fmt.Printf("%-4d %-8d %-20s %-8d %.6f\n", i+1, m.KeyFrameID, m.VideoName, m.FrameIndex, m.Distance)
+	}
+	return nil
+}
+
+// remoteReindex triggers POST /api/v1/reindex, one video or the sweep.
+func remoteReindex(ctx context.Context, c *retryClient, server string, id int64) error {
+	url := server + "/api/v1/reindex"
+	if id != 0 {
+		url += "?id=" + strconv.FormatInt(id, 10)
+	}
+	resp, err := c.do(ctx, http.MethodPost, url, byteBody(nil))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return readErrBody(resp)
+	}
+	var res struct {
+		Reindexed []struct {
+			VideoID   int64  `json:"video_id"`
+			VideoName string `json:"video_name"`
+			KeyFrames int    `json:"key_frames"`
+		} `json:"reindexed"`
+	}
+	if err := decodeJSON(resp, &res); err != nil {
+		return err
+	}
+	for _, r := range res.Reindexed {
+		fmt.Printf("reindexed %-20s video=%d keyframes=%d\n", r.VideoName, r.VideoID, r.KeyFrames)
+	}
+	return nil
+}
+
+// byteBody replays an in-memory body across attempts.
+func byteBody(b []byte) func() (io.ReadCloser, error) {
+	return func() (io.ReadCloser, error) {
+		return io.NopCloser(bytes.NewReader(b)), nil
+	}
+}
+
+// readErrBody renders a terminal (non-retryable) error response.
+func readErrBody(resp *http.Response) error {
+	defer resp.Body.Close()
+	snippet, _ := io.ReadAll(io.LimitReader(resp.Body, 200))
+	return fmt.Errorf("server returned %s: %s", resp.Status, snippet)
+}

@@ -1,0 +1,64 @@
+// Search brownout: the engine's graceful-quality-degradation knob.
+//
+// The server's admission controller (internal/admission) folds live
+// occupancy and recent p95 search latency into a load level in [0,1] and
+// feeds it here. Under pressure the fused cell-probe budget (cells.go)
+// shrinks linearly toward its recall floor MinProbeRows — trading recall
+// the eval harness has already priced (internal/eval) for latency — and
+// unbounded K<=0 full-ranking sweeps are refused outright with
+// ErrOverloaded rather than allowed to scan the whole corpus while the
+// system is drowning.
+//
+// The contract that keeps the PR 9 equivalence tests honest: at level 0
+// the brownout is completely inert — no code path differs from an engine
+// that has never heard of it, so searches stay bit-identical to
+// SearchWithSetReference wherever they were before. Single-kind searches
+// are never browned out: their bound-ordered sweep is exact AND sub-linear
+// already, so there is no latency to buy back with recall.
+package core
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrOverloaded is returned for unbounded (K <= 0) full-ranking searches
+// while the brownout level is at or above BrownoutRefuseFullRank. HTTP
+// layers map it to 503 with a computed Retry-After: the request is valid,
+// the server just refuses the corpus-wide sweep until load clears.
+var ErrOverloaded = errors.New("core: engine overloaded; full-ranking search refused until load clears")
+
+// BrownoutRefuseFullRank is the level at or above which K<=0 searches are
+// refused. Below it the budget shrink alone carries the pressure.
+const BrownoutRefuseFullRank = 0.5
+
+// SetBrownout sets the engine's brownout level, clamped to [0,1]. Zero
+// restores exact behaviour immediately: the level is read once per search,
+// so every search admitted after a SetBrownout(0) is indistinguishable
+// from one on an unloaded engine. NaN is treated as zero — a corrupt load
+// signal must fail open (exact), not poison the budget arithmetic.
+func (e *Engine) SetBrownout(level float64) {
+	if math.IsNaN(level) || level < 0 {
+		level = 0
+	}
+	if level > 1 {
+		level = 1
+	}
+	e.brownout.Store(math.Float64bits(level))
+}
+
+// BrownoutLevel reports the current brownout level in [0,1].
+func (e *Engine) BrownoutLevel() float64 {
+	return math.Float64frombits(e.brownout.Load())
+}
+
+// brownedBudget shrinks a fused probe budget toward the floor
+// (MinProbeRows): level 0 returns budget unchanged, level 1 returns the
+// floor, linear in between. The floor is the recall-gated minimum the
+// eval harness pins — brownout never probes below it.
+func brownedBudget(budget, floor int, level float64) int {
+	if level <= 0 || budget <= floor {
+		return budget
+	}
+	return floor + int((1-level)*float64(budget-floor))
+}

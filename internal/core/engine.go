@@ -14,6 +14,7 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cbvr/internal/catalog"
@@ -92,6 +93,11 @@ type SearchOptions struct {
 	// clamped to the engine's fixed shard count (Options.SearchShards),
 	// one worker per shard. Results are identical at any worker count.
 	Workers int
+
+	// brownout is the engine's load-shedding level sampled once at search
+	// start (searchSetStats), so every shard of one search shrinks its
+	// probe budget by the same amount even if the level moves mid-flight.
+	brownout float64
 }
 
 // ErrEmptyName is returned by every ingest entry point for an empty (or
@@ -155,6 +161,11 @@ type Engine struct {
 	// tally accumulates per-search work counters (atomic, written outside
 	// the engine lock) for the stats surfaces.
 	tally searchTally
+
+	// brownout holds the load-shedding level (math.Float64bits of a value
+	// in [0,1]) set by the serving layer; see brownout.go. Zero — the
+	// untouched default — means exact behaviour.
+	brownout atomic.Uint64
 
 	// reindexHook, when set by tests, fires at named points inside
 	// ReindexVideo's replacement transaction (fault injection).

@@ -154,6 +154,16 @@ func (e *Engine) searchSetStats(ctx context.Context, qset *features.Set, qbucket
 	if err := e.warmCache(); err != nil {
 		return nil, SearchStats{}, err
 	}
+	// Sample the brownout level once so the whole search — every shard's
+	// probe budget — degrades consistently. An unbounded ranking of the
+	// entire corpus is the most expensive query shape we serve; under
+	// sustained pressure it is refused outright rather than browned out
+	// (a "full ranking" with a shrunken probe budget would be a silent
+	// lie about what it ranked).
+	opt.brownout = e.BrownoutLevel()
+	if opt.K <= 0 && opt.brownout >= BrownoutRefuseFullRank {
+		return nil, SearchStats{}, ErrOverloaded
+	}
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 
@@ -200,7 +210,7 @@ func (e *Engine) searchSetStats(ctx context.Context, qset *features.Set, qbucket
 
 	// Fold the per-shard work counters into the search-wide stats and the
 	// engine tally.
-	stats := SearchStats{Kinds: len(kinds), K: opt.K}
+	stats := SearchStats{Kinds: len(kinds), K: opt.K, Brownout: opt.brownout}
 	for si := range parts {
 		st := &parts[si].stats
 		stats.BaseRows += int64(st.baseRows)
@@ -449,6 +459,9 @@ func (e *Engine) scanShardCells(si int, pq *PackedQuery, qbucket rangeindex.Rang
 		if f := int(cl.cfg.ProbeFraction * float64(n0)); f > budget {
 			budget = f
 		}
+		// Brownout shrinks the fused budget toward the MinProbeRows recall
+		// floor; at level 0 this is a no-op and the arithmetic never runs.
+		budget = brownedBudget(budget, cl.cfg.MinProbeRows, opt.brownout)
 		if opt.K > budget {
 			budget = opt.K
 		}
@@ -790,6 +803,12 @@ func (e *Engine) SearchVideoCtx(ctx context.Context, queryFrames []*imaging.Imag
 // on cancellation the context's error is returned, never a partial
 // ranking.
 func (e *Engine) searchVideoSets(ctx context.Context, qsets []*features.Set, opt SearchOptions) ([]VideoMatch, error) {
+	// Video DTW has no pruner to shrink (every stored video is aligned),
+	// so under sustained pressure the unbounded form is refused whole,
+	// like the K<=0 frame ranking.
+	if opt.K <= 0 && e.BrownoutLevel() >= BrownoutRefuseFullRank {
+		return nil, ErrOverloaded
+	}
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 

@@ -33,6 +33,9 @@ type SearchStats struct {
 	// scan took.
 	PrunedShards int `json:"pruned_shards"`
 	ExactShards  int `json:"exact_shards"`
+	// Brownout is the load-shedding level this search ran at (0 = the
+	// exact configuration); see brownout.go.
+	Brownout float64 `json:"brownout"`
 }
 
 // ExactEvals is the row-kernel count the exact sweep would have paid.
@@ -68,6 +71,7 @@ type searchTally struct {
 	cellEvals    atomic.Int64
 	prunedShards atomic.Int64
 	exactShards  atomic.Int64
+	browned      atomic.Int64
 }
 
 func (t *searchTally) add(s *SearchStats) {
@@ -77,6 +81,9 @@ func (t *searchTally) add(s *SearchStats) {
 	t.cellEvals.Add(s.CellEvals)
 	t.prunedShards.Add(int64(s.PrunedShards))
 	t.exactShards.Add(int64(s.ExactShards))
+	if s.Brownout > 0 {
+		t.browned.Add(1)
+	}
 }
 
 // SearchTallySnapshot is a point-in-time copy of the engine's cumulative
@@ -88,16 +95,21 @@ type SearchTallySnapshot struct {
 	CellEvals    int64 `json:"cell_evals"`
 	PrunedShards int64 `json:"pruned_shards"`
 	ExactShards  int64 `json:"exact_shards"`
+	// BrownedSearches counts searches that ran at a brownout level > 0
+	// (shrunken probe budget); the operational measure of how much load
+	// shedding has cost in search quality.
+	BrownedSearches int64 `json:"browned_searches"`
 }
 
 // SearchTally snapshots the cumulative per-engine search work counters.
 func (e *Engine) SearchTally() SearchTallySnapshot {
 	return SearchTallySnapshot{
-		Searches:     e.tally.searches.Load(),
-		BaseRows:     e.tally.baseRows.Load(),
-		RowEvals:     e.tally.rowEvals.Load(),
-		CellEvals:    e.tally.cellEvals.Load(),
-		PrunedShards: e.tally.prunedShards.Load(),
-		ExactShards:  e.tally.exactShards.Load(),
+		Searches:        e.tally.searches.Load(),
+		BaseRows:        e.tally.baseRows.Load(),
+		RowEvals:        e.tally.rowEvals.Load(),
+		CellEvals:       e.tally.cellEvals.Load(),
+		PrunedShards:    e.tally.prunedShards.Load(),
+		ExactShards:     e.tally.exactShards.Load(),
+		BrownedSearches: e.tally.browned.Load(),
 	}
 }

@@ -86,6 +86,41 @@ func TestRecallPruned10k(t *testing.T) {
 	}
 }
 
+// TestRecallMaxBrownout10k pins the brownout floor on the 10k planted
+// corpus: at level 1 the fused probe budget collapses to MinProbeRows,
+// which must still clear the recall floor — brownout trades tail quality
+// for survival, it must never make search useless. The gate's default
+// config leaves brownout no room (the per-shard fraction budget, 0.07 ×
+// 2500 = 175, already sits below the 400-row floor), so this engine
+// raises ProbeFraction to 0.4: a 1000-row level-0 budget per shard that
+// level 1 shrinks to exactly the floor — the same effective budget the
+// default gate proves recalls ≥ 0.95.
+func TestRecallMaxBrownout10k(t *testing.T) {
+	cfg := synthvid.ClusterCorpusConfig{Frames: 10000, Seed: 7}
+	eng := buildCorpusEngine(t, cfg, core.Options{SearchShards: 4, Cells: core.CellOptions{ProbeFraction: 0.4}})
+
+	base, err := EvaluateRecall(eng, cfg, RecallOptions{Queries: 40, K: 10})
+	if err != nil {
+		t.Fatalf("level-0 evaluate: %v", err)
+	}
+	eng.SetBrownout(1)
+	browned, err := EvaluateRecall(eng, cfg, RecallOptions{Queries: 40, K: 10})
+	if err != nil {
+		t.Fatalf("browned evaluate: %v", err)
+	}
+	t.Logf("level 0: recall %.4f paid %d; level 1: recall %.4f paid %d",
+		base.MeanRecall, base.PaidEvals, browned.MeanRecall, browned.PaidEvals)
+	if browned.PaidEvals >= base.PaidEvals {
+		t.Errorf("max brownout paid %d evals, level 0 paid %d — budget did not shrink", browned.PaidEvals, base.PaidEvals)
+	}
+	if browned.PrunedShards == 0 {
+		t.Error("browned search never took the pruned path")
+	}
+	if browned.MeanRecall < 0.95 {
+		t.Errorf("mean recall %.4f at max brownout below the MinProbeRows floor 0.95", browned.MeanRecall)
+	}
+}
+
 // TestRecallPruned100k is the ISSUE headline scale point: 100k corpus,
 // recall@10 >= 0.95 with >= 10x fewer distance evaluations. ~1.1 GB of
 // arena columns and minutes of generation, so it only runs when

@@ -34,7 +34,7 @@ func TestServerDegradedMode(t *testing.T) {
 	if resp, body := doJSON(t, "POST", ts.URL+"/api/v1/ingest?name=resident", bytes.NewReader(raw), &res); resp.StatusCode != 200 {
 		t.Fatalf("seed ingest: %d %s", resp.StatusCode, body)
 	}
-	var health map[string]string
+	var health map[string]any
 	if resp, _ := doJSON(t, "GET", ts.URL+"/healthz", nil, &health); resp.StatusCode != 200 || health["status"] != "ok" {
 		t.Fatalf("healthy healthz: %d %v", resp.StatusCode, health)
 	}

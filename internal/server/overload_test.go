@@ -1,0 +1,313 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"cbvr/internal/admission"
+	"cbvr/internal/core"
+	"cbvr/internal/synthvid"
+	"cbvr/internal/vstore"
+	"cbvr/internal/vstore/faultfs"
+)
+
+// TestHealthzStateTransitions walks /healthz through all four states —
+// ok → browned-out → shedding → ok → degraded — by steering the admission
+// controller and the store, pinning status code, status string and
+// Retry-After presence at each step.
+func TestHealthzStateTransitions(t *testing.T) {
+	ffs := faultfs.New()
+	eng, err := core.Open("healthz.db", core.Options{Store: vstore.Options{FS: ffs}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	adm := admission.Config{ShedWindow: 200 * time.Millisecond, LatencyWindow: 200 * time.Millisecond}
+	adm.Limit[admission.Search] = 2
+	srv := New(eng, Options{Admission: adm})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	raw, _ := testContainer(t, synthvid.Cartoon, 700, 8)
+	var res ingestResp
+	if resp, body := doJSON(t, "POST", ts.URL+"/api/v1/ingest?name=resident", bytes.NewReader(raw), &res); resp.StatusCode != 200 {
+		t.Fatalf("seed ingest: %d %s", resp.StatusCode, body)
+	}
+
+	checkState := func(wantCode int, wantStatus string, wantRetryAfter bool) {
+		t.Helper()
+		var health map[string]any
+		resp, body := doJSON(t, "GET", ts.URL+"/healthz", nil, &health)
+		if resp.StatusCode != wantCode || health["status"] != wantStatus {
+			t.Fatalf("healthz = %d %s, want %d %q", resp.StatusCode, body, wantCode, wantStatus)
+		}
+		if got := resp.Header.Get("Retry-After") != ""; got != wantRetryAfter {
+			t.Fatalf("healthz %q Retry-After present=%v, want %v", wantStatus, got, wantRetryAfter)
+		}
+		if _, ok := health["brownout"].(float64); !ok {
+			t.Fatalf("healthz %q missing numeric brownout level: %s", wantStatus, body)
+		}
+	}
+
+	checkState(200, "ok", false)
+
+	// Saturate search past the 75% occupancy knee: 2 slots held + 1 queued
+	// waiter pushes the load level to 1 — browned-out, but nothing has been
+	// refused yet.
+	ctl := srv.Admission()
+	t1, err := ctl.Acquire(context.Background(), admission.Search)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := ctl.Acquire(context.Background(), admission.Search)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued, queuedCancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if tk, err := ctl.Acquire(queued, admission.Search); err == nil {
+			tk.Release()
+		}
+	}()
+	waitFor(t, time.Second, func() bool { return ctl.Snapshot().Classes[admission.Search].Queued == 1 })
+	checkState(200, "browned-out", false)
+
+	// The first refusal flips the state to shedding (503 + Retry-After):
+	// reindex sheds at level ≥ 0.5 and the level is pinned at 1.
+	if _, err := ctl.Acquire(context.Background(), admission.Reindex); err == nil {
+		t.Fatal("reindex admitted at load level 1")
+	}
+	checkState(503, "shedding", true)
+
+	// Pressure clears: release everything, let the shed and latency windows
+	// lapse, and the state returns to plain ok.
+	queuedCancel()
+	wg.Wait()
+	t1.Release()
+	t2.Release()
+	waitFor(t, 2*time.Second, func() bool {
+		shedding, _ := ctl.Shedding()
+		return !shedding && ctl.Level() == 0
+	})
+	checkState(200, "ok", false)
+
+	// A write fault degrades the store: healthz reports it with 503 +
+	// Retry-After, trumping the (clear) load state.
+	fired := false
+	ffs.SetInjector(func(op faultfs.Op) faultfs.Action {
+		if !fired && op.Kind == faultfs.OpWrite && op.Name == "healthz.db.wal" {
+			fired = true
+			return faultfs.ActErr
+		}
+		return faultfs.ActNone
+	})
+	if resp, _ := doJSON(t, "DELETE", ts.URL+"/api/v1/videos?id="+itoa(res.VideoID), nil, nil); resp.StatusCode != 503 {
+		t.Fatalf("poisoning delete: %d", resp.StatusCode)
+	}
+	ffs.SetInjector(nil)
+	checkState(503, "degraded", true)
+}
+
+// TestShedFailsFastWithComputedRetryAfter pins the shed latency contract:
+// with the single ingest slot wedged, the refusal must arrive in under
+// 50ms carrying a Retry-After computed from observed service times — and
+// both previously hard-coded surfaces (ingest capacity, degraded 503s)
+// must now produce integer seconds ≥ 1.
+func TestShedFailsFastWithComputedRetryAfter(t *testing.T) {
+	eng := openTestEngine(t)
+	srv := New(eng, Options{MaxInFlightIngests: 1})
+	admitted := make(chan string, 1)
+	srv.admitHook = func(name string) { admitted <- name }
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	raw, _ := testContainer(t, synthvid.Cartoon, 710, 8)
+	pr, pw := io.Pipe()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		doJSON(t, "POST", ts.URL+"/api/v1/ingest?name=slow", pr, nil)
+	}()
+	<-admitted
+
+	start := time.Now()
+	resp, body := doJSON(t, "POST", ts.URL+"/api/v1/ingest?name=shed", bytes.NewReader(raw), nil)
+	elapsed := time.Since(start)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("shed ingest: %d %s", resp.StatusCode, body)
+	}
+	if elapsed > 50*time.Millisecond {
+		t.Fatalf("shed took %v, want < 50ms", elapsed)
+	}
+	ra := resp.Header.Get("Retry-After")
+	sec, err := strconv.Atoi(ra)
+	if err != nil || sec < 1 {
+		t.Fatalf("shed Retry-After = %q, want integer seconds >= 1", ra)
+	}
+
+	if _, err := pw.Write(raw); err != nil {
+		t.Fatal(err)
+	}
+	pw.Close()
+	<-done
+}
+
+// TestSearchDeadlineThroughAPI drives deadline propagation end to end: a
+// 1ms client-supplied deadline expires mid-request and surfaces as 503
+// (the httperr mapping of context.DeadlineExceeded), the response echoes
+// the applied deadline, an oversized override is capped at MaxDeadline,
+// and an unhurried search on the same server still serves.
+func TestSearchDeadlineThroughAPI(t *testing.T) {
+	eng := openTestEngine(t)
+	ts := httptest.NewServer(New(eng, Options{MaxDeadline: 5 * time.Second}))
+	defer ts.Close()
+
+	raw, v := testContainer(t, synthvid.Cartoon, 720, 16)
+	if resp, body := doJSON(t, "POST", ts.URL+"/api/v1/ingest?name=clip", bytes.NewReader(raw), nil); resp.StatusCode != 200 {
+		t.Fatalf("seed ingest: %d %s", resp.StatusCode, body)
+	}
+	qjpeg := queryJPEG(t, v)
+
+	req, err := http.NewRequest("POST", ts.URL+"/api/v1/search?k=5", bytes.NewReader(qjpeg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(DeadlineHeader, "1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("1ms-deadline search: %d, want 503", resp.StatusCode)
+	}
+	if got := resp.Header.Get(DeadlineHeader); got != "1" {
+		t.Fatalf("deadline echo = %q, want 1", got)
+	}
+
+	// An override past the cap is clamped, and the echo shows the cap.
+	req, err = http.NewRequest("POST", ts.URL+"/api/v1/search?k=5", bytes.NewReader(qjpeg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(DeadlineHeader, "3600000")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if got := resp.Header.Get(DeadlineHeader); got != "5000" {
+		t.Fatalf("capped deadline echo = %q, want 5000", got)
+	}
+
+	var sr searchResp
+	if resp, body := doJSON(t, "POST", ts.URL+"/api/v1/search?k=5", bytes.NewReader(qjpeg), &sr); resp.StatusCode != 200 || len(sr.Matches) == 0 {
+		t.Fatalf("unhurried search after deadline storm: %d %s", resp.StatusCode, body)
+	}
+}
+
+// stallingReader yields a prefix, then blocks until released — the shape
+// of a slow-loris upload: the connection is alive, bytes are not coming.
+type stallingReader struct {
+	data    []byte
+	off     int
+	limit   int
+	release chan struct{}
+}
+
+func (s *stallingReader) Read(p []byte) (int, error) {
+	if s.off >= s.limit {
+		<-s.release
+		return 0, io.EOF
+	}
+	n := copy(p, s.data[s.off:s.limit])
+	s.off += n
+	return n, nil
+}
+
+// TestBodyStallWatchdogCutsSlowLoris wedges an upload that sends half the
+// container and then stalls: the per-read watchdog must cut it with 408
+// within a few stall windows — freeing the admission slot — and a healthy
+// upload must succeed immediately afterwards.
+func TestBodyStallWatchdogCutsSlowLoris(t *testing.T) {
+	eng := openTestEngine(t)
+	srv := New(eng, Options{MaxInFlightIngests: 1, BodyStallTimeout: 150 * time.Millisecond})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	raw, _ := testContainer(t, synthvid.Cartoon, 730, 8)
+	sr := &stallingReader{data: raw, limit: len(raw) / 2, release: make(chan struct{})}
+	defer close(sr.release)
+
+	start := time.Now()
+	resp, body := doJSON(t, "POST", ts.URL+"/api/v1/ingest?name=loris", sr, nil)
+	if resp.StatusCode != http.StatusRequestTimeout {
+		t.Fatalf("stalled upload: %d %s, want 408", resp.StatusCode, body)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("watchdog took %v to cut a 150ms stall", elapsed)
+	}
+
+	var ir ingestResp
+	if resp, body := doJSON(t, "POST", ts.URL+"/api/v1/ingest?name=healthy", bytes.NewReader(raw), &ir); resp.StatusCode != 200 {
+		t.Fatalf("upload after watchdog cut: %d %s", resp.StatusCode, body)
+	}
+}
+
+// TestStatsReportsOverloadView checks /api/v1/stats now carries the
+// admission snapshot (per-class occupancy and shed counters) and the
+// engine brownout level alongside the search tally.
+func TestStatsReportsOverloadView(t *testing.T) {
+	eng := openTestEngine(t)
+	ts := httptest.NewServer(New(eng, Options{}))
+	defer ts.Close()
+
+	var stats struct {
+		Admission struct {
+			Level   float64 `json:"level"`
+			Classes []struct {
+				Class string `json:"class"`
+				Limit int     `json:"limit"`
+			} `json:"classes"`
+		} `json:"admission"`
+		Brownout *float64 `json:"brownout"`
+	}
+	if resp, body := doJSON(t, "GET", ts.URL+"/api/v1/stats", nil, &stats); resp.StatusCode != 200 {
+		t.Fatalf("stats: %d %s", resp.StatusCode, body)
+	}
+	if len(stats.Admission.Classes) != int(admission.NumClasses) {
+		t.Fatalf("stats lists %d admission classes, want %d", len(stats.Admission.Classes), admission.NumClasses)
+	}
+	for _, c := range stats.Admission.Classes {
+		if c.Limit <= 0 {
+			t.Fatalf("class %s has non-positive limit %d", c.Class, c.Limit)
+		}
+	}
+	if stats.Brownout == nil {
+		t.Fatal("stats missing brownout level")
+	}
+}
+
+// waitFor polls cond until it holds or the budget lapses.
+func waitFor(t *testing.T, budget time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(budget)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached within budget")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

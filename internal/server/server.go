@@ -6,12 +6,19 @@
 // Concurrency model: uploads run the engine's two-phase staged ingest —
 // decode, key-frame selection, feature extraction and blob staging proceed
 // with no store-wide lock, so N clients make progress simultaneously and
-// serialize only on the short row-commit section. An admission queue
-// bounds the number of in-flight ingests (excess uploads get 429 +
-// Retry-After instead of piling decoded frames into memory). Every handler
-// threads its request context into the engine, so a dropped connection or
-// a server shutdown aborts the work within one decode iteration and
-// discards any staged pages.
+// serialize only on the short row-commit section.
+//
+// Overload model: every request passes the weighted admission controller
+// (internal/admission) under a server-assigned deadline. Each endpoint
+// class (search/delete/ingest/reindex) has its own concurrency limit and
+// bounded wait queue; refused work gets 429/503 with a Retry-After
+// computed from observed service times, lowest-priority classes shedding
+// first as the load signal rises. The same signal drives the engine's
+// search brownout (core.SetBrownout): under pressure fused searches
+// shrink their probe budget toward the recall floor, and exactness
+// returns the moment load clears. A slow-client watchdog re-arms a
+// per-read connection deadline around body reads so a stalled uploader
+// cannot hold an admission slot forever.
 package server
 
 import (
@@ -21,12 +28,12 @@ import (
 	"io"
 	"mime"
 	"net/http"
-	"runtime"
 	"strconv"
 	"strings"
 	"sync"
 	"time"
 
+	"cbvr/internal/admission"
 	"cbvr/internal/core"
 	"cbvr/internal/httperr"
 	"cbvr/internal/imaging"
@@ -40,20 +47,64 @@ type Options struct {
 	// MaxInFlightIngests bounds concurrently admitted uploads; excess
 	// requests are turned away immediately with 429 + Retry-After rather
 	// than queued (the client can pace itself; the server must not buffer
-	// unbounded decode work). <= 0 selects 2×GOMAXPROCS, the point past
-	// which extra decodes only contend for cores.
+	// unbounded decode work). <= 0 defers to Admission's ingest limit
+	// (default 2×GOMAXPROCS). Kept as a top-level field because it
+	// predates the admission controller; it overrides Admission's ingest
+	// limit when set.
 	MaxInFlightIngests int
+	// Admission configures the weighted admission controller: per-class
+	// concurrency limits, queue depths, shed thresholds and the load
+	// signal. Zero fields take the admission package defaults.
+	Admission admission.Config
+	// SearchDeadline is the server-assigned deadline for search and read
+	// endpoints; <= 0 selects 15s.
+	SearchDeadline time.Duration
+	// MutateDeadline is the server-assigned deadline for ingest, reindex
+	// and delete; <= 0 selects 2m (a large upload decodes for a while).
+	MutateDeadline time.Duration
+	// MaxDeadline caps the client's X-CBVR-Deadline-Ms override; <= 0
+	// selects 10m. The header can shorten or extend the default, but
+	// never past this cap — a client must not pin a slot for an hour.
+	MaxDeadline time.Duration
+	// BodyStallTimeout arms the slow-client watchdog: each body read must
+	// deliver bytes within this window or the connection read fails
+	// (classified 408). <= 0 selects 15s; negative... use >= 0 semantics:
+	// values < 0 disable the watchdog (tests with deliberately parked
+	// uploads).
+	BodyStallTimeout time.Duration
 }
 
 // DefaultMaxUploadBytes is the body cap when Options leaves it zero.
 const DefaultMaxUploadBytes = 64 << 20
 
+// Default deadlines; see Options.
+const (
+	DefaultSearchDeadline   = 15 * time.Second
+	DefaultMutateDeadline   = 2 * time.Minute
+	DefaultMaxDeadline      = 10 * time.Minute
+	DefaultBodyStallTimeout = 15 * time.Second
+)
+
+// DeadlineHeader is the request header through which a client overrides
+// the endpoint's default deadline, in whole milliseconds, capped at
+// Options.MaxDeadline. The response echoes the applied deadline under the
+// same name so clients see the cap.
+const DeadlineHeader = "X-CBVR-Deadline-Ms"
+
+// BrownoutHeader reports, on search responses, the brownout level the
+// search ran at (0 means the exact configuration).
+const BrownoutHeader = "X-CBVR-Brownout"
+
+// brownoutVisible is the level at which healthz switches from "ok" to
+// "browned-out": below this the budget shrink is negligible noise.
+const brownoutVisible = 0.01
+
 // Server is the JSON API handler set. Create one with New.
 type Server struct {
-	eng       *core.Engine
-	mux       *http.ServeMux
-	opts      Options
-	ingestSem chan struct{}
+	eng  *core.Engine
+	mux  *http.ServeMux
+	opts Options
+	adm  *admission.Controller
 
 	// baseCtx is cancelled by Abort: every in-flight request's context is
 	// derived from it, so a forced shutdown stops ctx-aware engine work
@@ -76,17 +127,29 @@ func New(eng *core.Engine, opts Options) *Server {
 	if opts.MaxUploadBytes <= 0 {
 		opts.MaxUploadBytes = DefaultMaxUploadBytes
 	}
-	if opts.MaxInFlightIngests <= 0 {
-		opts.MaxInFlightIngests = 2 * runtime.GOMAXPROCS(0)
+	if opts.MaxInFlightIngests > 0 {
+		opts.Admission.Limit[admission.Ingest] = opts.MaxInFlightIngests
+	}
+	if opts.SearchDeadline <= 0 {
+		opts.SearchDeadline = DefaultSearchDeadline
+	}
+	if opts.MutateDeadline <= 0 {
+		opts.MutateDeadline = DefaultMutateDeadline
+	}
+	if opts.MaxDeadline <= 0 {
+		opts.MaxDeadline = DefaultMaxDeadline
+	}
+	if opts.BodyStallTimeout == 0 {
+		opts.BodyStallTimeout = DefaultBodyStallTimeout
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		eng:       eng,
-		mux:       http.NewServeMux(),
-		opts:      opts,
-		ingestSem: make(chan struct{}, opts.MaxInFlightIngests),
-		baseCtx:   ctx,
-		abort:     cancel,
+		eng:     eng,
+		mux:     http.NewServeMux(),
+		opts:    opts,
+		adm:     admission.New(opts.Admission),
+		baseCtx: ctx,
+		abort:   cancel,
 	}
 	s.mux.HandleFunc("/api/v1/search", s.handleSearch)
 	s.mux.HandleFunc("/api/v1/videos", s.handleVideos)
@@ -97,42 +160,107 @@ func New(eng *core.Engine, opts Options) *Server {
 	return s
 }
 
-// degradedRetryAfter is the Retry-After value sent with degraded-store
-// 503s. A degraded store recovers only when the process restarts and
-// recovery settles durable state, so the backoff is generous — clients
-// gain nothing by hammering a read-only instance.
-const degradedRetryAfter = "30"
+// Admission exposes the controller for operational callers (cmd/cbvr-server
+// wires nothing today, but tests and future surfaces read the load state).
+func (s *Server) Admission() *admission.Controller { return s.adm }
 
-// handleHealthz reports liveness and store health: 200 {"status":"ok"}
-// while writable, 503 {"status":"degraded",...} once a write fault has
-// forced the store read-only. Searches still work in the degraded state;
-// orchestrators use this signal to rotate in a replacement.
+// handleHealthz reports liveness in four states, worst first:
+//
+//   - 503 "degraded"   — a write fault forced the store read-only; only a
+//     process restart recovers it (searches still serve)
+//   - 503 "shedding"   — the admission controller refused work within its
+//     shed window; load balancers should divert what they can
+//   - 200 "browned-out" — serving everything, but searches run with a
+//     shrunken probe budget (quality, not availability, is reduced)
+//   - 200 "ok"
+//
+// Every response carries the numeric brownout level; 503s carry a
+// computed Retry-After.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet && r.Method != http.MethodHead {
 		methodErr(w, "GET, HEAD")
 		return
 	}
+	lvl := s.adm.Level()
 	if err := s.eng.Degraded(); err != nil {
-		w.Header().Set("Retry-After", degradedRetryAfter)
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{
-			"status": "degraded",
-			"reason": err.Error(),
+		httperr.ApplyRetryAfter(w.Header(), err, s.adm.RetryAfter(admission.Ingest))
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status":   "degraded",
+			"reason":   err.Error(),
+			"brownout": lvl,
 		})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	if shedding, reason := s.adm.Shedding(); shedding {
+		w.Header().Set("Retry-After", strconv.Itoa(admission.RetryAfterSeconds(s.adm.RetryAfter(admission.Ingest))))
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status":   "shedding",
+			"reason":   reason,
+			"brownout": lvl,
+		})
+		return
+	}
+	if lvl >= brownoutVisible {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":   "browned-out",
+			"reason":   fmt.Sprintf("search probe budget shrunk to load level %.2f", lvl),
+			"brownout": lvl,
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "brownout": lvl})
 }
 
 // ServeHTTP implements http.Handler. Each request runs under a context
-// that dies with either the client connection or Abort, whichever first.
+// that dies with the client connection, the server-assigned (or
+// client-overridden, capped) deadline, or Abort — whichever first. The
+// applied deadline is echoed in the DeadlineHeader response header.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.wg.Add(1)
 	defer s.wg.Done()
-	ctx, cancel := context.WithCancel(r.Context())
+	d := s.routeDeadline(r)
+	if hdr := r.Header.Get(DeadlineHeader); hdr != "" {
+		if ms, err := strconv.ParseInt(hdr, 10, 64); err == nil && ms > 0 {
+			d = time.Duration(ms) * time.Millisecond
+			if d > s.opts.MaxDeadline {
+				d = s.opts.MaxDeadline
+			}
+		}
+	}
+	w.Header().Set(DeadlineHeader, strconv.FormatInt(d.Milliseconds(), 10))
+	ctx, cancel := context.WithDeadline(r.Context(), time.Now().Add(d))
 	defer cancel()
 	stop := context.AfterFunc(s.baseCtx, cancel)
 	defer stop()
 	s.mux.ServeHTTP(w, r.WithContext(ctx))
+}
+
+// routeDeadline picks the endpoint's default deadline: mutations get the
+// long budget (a large upload decodes for a while), everything else the
+// search budget.
+func (s *Server) routeDeadline(r *http.Request) time.Duration {
+	switch r.URL.Path {
+	case "/api/v1/ingest", "/api/v1/reindex":
+		return s.opts.MutateDeadline
+	case "/api/v1/videos":
+		if r.Method == http.MethodDelete {
+			return s.opts.MutateDeadline
+		}
+	}
+	return s.opts.SearchDeadline
+}
+
+// admit runs one request through the admission controller. On refusal it
+// writes the classified response (429/503 + computed Retry-After) and
+// reports false; the caller returns immediately. On success the caller
+// must Release the ticket.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request, class admission.Class) (*admission.Ticket, bool) {
+	tk, err := s.adm.Acquire(r.Context(), class)
+	if err != nil {
+		s.writeErr(w, err, class)
+		return nil, false
+	}
+	return tk, true
 }
 
 // Abort cancels every in-flight request's context. The drain path calls it
@@ -155,20 +283,19 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 // writeErr classifies err through the shared table and emits it as JSON.
-func writeErr(w http.ResponseWriter, err error) {
-	if httperr.RetryAfter(err) {
-		w.Header().Set("Retry-After", degradedRetryAfter)
-	}
+// Retryable errors carry a Retry-After computed from the class's observed
+// service times (admission sheds embed their own estimate; degraded-store
+// errors are floored at the restart backoff).
+func (s *Server) writeErr(w http.ResponseWriter, err error, class admission.Class) {
+	httperr.ApplyRetryAfter(w.Header(), err, s.adm.RetryAfter(class))
 	writeJSON(w, httperr.StatusOf(err), map[string]string{"error": httperr.Message(err)})
 }
 
 // writeStoredErr classifies errors from operations over stored data
 // (reindex, delete), where a format error means store corruption, not a
 // bad request.
-func writeStoredErr(w http.ResponseWriter, err error) {
-	if httperr.RetryAfter(err) {
-		w.Header().Set("Retry-After", degradedRetryAfter)
-	}
+func (s *Server) writeStoredErr(w http.ResponseWriter, err error, class admission.Class) {
+	httperr.ApplyRetryAfter(w.Header(), err, s.adm.RetryAfter(class))
 	writeJSON(w, httperr.StatusOfStored(err), map[string]string{"error": httperr.Message(err)})
 }
 
@@ -176,6 +303,51 @@ func writeStoredErr(w http.ResponseWriter, err error) {
 func methodErr(w http.ResponseWriter, allowed string) {
 	w.Header().Set("Allow", allowed)
 	writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "method not allowed; use " + allowed})
+}
+
+// watchdogBody re-arms a per-read connection deadline around every body
+// read: a client that stops sending for BodyStallTimeout fails the read
+// with os.ErrDeadlineExceeded (classified 408) instead of parking the
+// handler — and its admission slot — until the request deadline. Close
+// clears the connection deadline so keep-alive reuse is unaffected.
+type watchdogBody struct {
+	body  io.ReadCloser
+	rc    *http.ResponseController
+	stall time.Duration
+	armed bool
+}
+
+func (b *watchdogBody) Read(p []byte) (int, error) {
+	if b.armed {
+		if err := b.rc.SetReadDeadline(time.Now().Add(b.stall)); err != nil {
+			// The underlying writer cannot set read deadlines (e.g. a
+			// recorder in tests); degrade to an unwatched read.
+			b.armed = false
+		}
+	}
+	return b.body.Read(p)
+}
+
+func (b *watchdogBody) Close() error {
+	if b.armed {
+		b.rc.SetReadDeadline(time.Time{})
+	}
+	return b.body.Close()
+}
+
+// guardBody wraps the request body with the upload cap and, when enabled,
+// the slow-client watchdog. Call before any body consumption.
+func (s *Server) guardBody(w http.ResponseWriter, r *http.Request) {
+	var body io.ReadCloser = r.Body
+	if s.opts.BodyStallTimeout > 0 {
+		body = &watchdogBody{
+			body:  body,
+			rc:    http.NewResponseController(w),
+			stall: s.opts.BodyStallTimeout,
+			armed: true,
+		}
+	}
+	r.Body = http.MaxBytesReader(w, body, s.opts.MaxUploadBytes)
 }
 
 // videoJSON is one /api/v1/videos listing row.
@@ -211,18 +383,30 @@ type reindexJSON struct {
 
 // handleSearch ranks stored key frames against a query frame. The frame
 // arrives either as multipart field "image" or as a raw JPEG body; "k"
-// (query or form value) bounds the result count.
+// (query or form value) bounds the result count. The response carries the
+// brownout level the search ran at in the BrownoutHeader header.
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		methodErr(w, http.MethodPost)
 		return
 	}
-	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxUploadBytes)
+	tk, ok := s.admit(w, r, admission.Search)
+	if !ok {
+		return
+	}
+	defer tk.Release()
+	// The admission-derived load level drives the engine brownout: set it
+	// before the search so this request's probe budget reflects current
+	// pressure, and report it so the client knows the quality it got.
+	lvl := s.adm.Level()
+	s.eng.SetBrownout(lvl)
+	w.Header().Set(BrownoutHeader, strconv.FormatFloat(lvl, 'f', 3, 64))
+	s.guardBody(w, r)
 	var frameSrc io.Reader = r.Body
 	if isMultipart(r) {
 		file, _, err := r.FormFile("image")
 		if err != nil {
-			writeErr(w, fmt.Errorf("missing \"image\" upload: %w", err))
+			s.writeErr(w, fmt.Errorf("missing \"image\" upload: %w", err), admission.Search)
 			return
 		}
 		defer file.Close()
@@ -243,7 +427,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 	matches, err := s.eng.SearchFrameCtx(r.Context(), query, core.SearchOptions{K: k})
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err, admission.Search)
 		return
 	}
 	out := make([]matchJSON, len(matches))
@@ -260,17 +444,19 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleVideos lists the store (GET) or deletes one video (DELETE ?id=N).
+// Listing is an index read and skips admission; deletes go through the
+// delete class.
 func (s *Server) handleVideos(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
 	case http.MethodGet:
 		vids, err := s.eng.Store().ListVideos(nil)
 		if err != nil {
-			writeErr(w, err)
+			s.writeErr(w, err, admission.Search)
 			return
 		}
 		nk, err := s.eng.Store().CountKeyFrames(nil)
 		if err != nil {
-			writeErr(w, err)
+			s.writeErr(w, err, admission.Search)
 			return
 		}
 		out := make([]videoJSON, len(vids))
@@ -284,8 +470,13 @@ func (s *Server) handleVideos(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "missing or invalid \"id\" query parameter"})
 			return
 		}
+		tk, ok := s.admit(w, r, admission.Delete)
+		if !ok {
+			return
+		}
+		defer tk.Release()
 		if err := s.eng.DeleteVideo(id); err != nil {
-			writeStoredErr(w, err)
+			s.writeStoredErr(w, err, admission.Delete)
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"deleted": id})
@@ -297,8 +488,8 @@ func (s *Server) handleVideos(w http.ResponseWriter, r *http.Request) {
 // handleIngest admits one upload into the staged ingest pipeline. The
 // container arrives either as multipart ("name" field before a "video"
 // file part, both streamed — the body is never buffered whole) or as a raw
-// CVJ body with ?name=. Over-admission returns 429 with Retry-After; the
-// client owns its backoff.
+// CVJ body with ?name=. Over-admission returns 429 with a computed
+// Retry-After; the client owns its backoff.
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		methodErr(w, http.MethodPost)
@@ -308,23 +499,18 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	// store would reject the staged writer anyway, and failing here costs
 	// one header round-trip instead of the whole body.
 	if err := s.eng.Degraded(); err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err, admission.Ingest)
 		return
 	}
-	select {
-	case s.ingestSem <- struct{}{}:
-		defer func() { <-s.ingestSem }()
-		if s.admitHook != nil {
-			s.admitHook(r.URL.Query().Get("name"))
-		}
-	default:
-		w.Header().Set("Retry-After", "1")
-		writeJSON(w, http.StatusTooManyRequests, map[string]string{
-			"error": fmt.Sprintf("ingest queue full (%d in flight); retry shortly", cap(s.ingestSem)),
-		})
+	tk, ok := s.admit(w, r, admission.Ingest)
+	if !ok {
 		return
 	}
-	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxUploadBytes)
+	defer tk.Release()
+	if s.admitHook != nil {
+		s.admitHook(r.URL.Query().Get("name"))
+	}
+	s.guardBody(w, r)
 
 	name := r.URL.Query().Get("name")
 	var container io.Reader
@@ -340,7 +526,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			// A part read can block on a stalled client; bail out once the
 			// request context is cancelled rather than walking dead parts.
 			if err := r.Context().Err(); err != nil {
-				writeErr(w, err)
+				s.writeErr(w, err, admission.Ingest)
 				return
 			}
 			part, err := mr.NextPart()
@@ -349,14 +535,14 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 			if err != nil {
-				writeErr(w, err)
+				s.writeErr(w, err, admission.Ingest)
 				return
 			}
 			switch part.FormName() {
 			case "name":
 				b, err := io.ReadAll(io.LimitReader(part, 4096))
 				if err != nil {
-					writeErr(w, err)
+					s.writeErr(w, err, admission.Ingest)
 					return
 				}
 				if name == "" {
@@ -374,19 +560,25 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := s.eng.IngestVideoStreamCtx(r.Context(), name, container)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err, admission.Ingest)
 		return
 	}
 	writeJSON(w, http.StatusOK, ingestJSON{VideoID: res.VideoID, NumFrames: res.NumFrames, KeyFrameIDs: res.KeyFrameIDs})
 }
 
 // handleReindex rebuilds feature rows from stored key-frame streams: one
-// video with ?id= (or form id), the whole store without.
+// video with ?id= (or form id), the whole store without. Reindex is the
+// lowest-priority admission class — the first work shed under load.
 func (s *Server) handleReindex(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		methodErr(w, http.MethodPost)
 		return
 	}
+	tk, ok := s.admit(w, r, admission.Reindex)
+	if !ok {
+		return
+	}
+	defer tk.Release()
 	var results []*core.ReindexResult
 	if idStr := queryOrForm(r, "id"); idStr != "" {
 		id, err := strconv.ParseInt(idStr, 10, 64)
@@ -396,7 +588,7 @@ func (s *Server) handleReindex(w http.ResponseWriter, r *http.Request) {
 		}
 		res, err := s.eng.ReindexVideoCtx(r.Context(), id)
 		if err != nil {
-			writeStoredErr(w, err)
+			s.writeStoredErr(w, err, admission.Reindex)
 			return
 		}
 		results = []*core.ReindexResult{res}
@@ -404,7 +596,7 @@ func (s *Server) handleReindex(w http.ResponseWriter, r *http.Request) {
 		var err error
 		results, err = s.eng.ReindexAllCtx(r.Context())
 		if err != nil {
-			writeStoredErr(w, err)
+			s.writeStoredErr(w, err, admission.Reindex)
 			return
 		}
 	}
@@ -415,10 +607,9 @@ func (s *Server) handleReindex(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"reindexed": out})
 }
 
-// handleStats reports the engine's cumulative search work counters and
-// the state of the per-shard cell index — the operational view of the
-// candidate pruner (how much of the corpus searches actually scan, and
-// how much of it the cells cover).
+// handleStats reports the engine's cumulative search work counters, the
+// state of the per-shard cell index, and the overload view: admission
+// per-class occupancy/sheds and the current brownout level.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		methodErr(w, http.MethodGet)
@@ -426,12 +617,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	cells, err := s.eng.CellStats()
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err, admission.Search)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"search": s.eng.SearchTally(),
-		"cells":  cells,
+		"search":    s.eng.SearchTally(),
+		"cells":     cells,
+		"admission": s.adm.Snapshot(),
+		"brownout":  s.eng.BrownoutLevel(),
 	})
 }
 

@@ -13,7 +13,9 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
+	"cbvr/internal/admission"
 	"cbvr/internal/core"
 	"cbvr/internal/cvj"
 	"cbvr/internal/features"
@@ -108,7 +110,16 @@ type videosResp struct {
 // the engine's retained reference search.
 func TestServerConcurrentStress(t *testing.T) {
 	eng := openTestEngine(t)
-	ts := httptest.NewServer(New(eng, Options{MaxInFlightIngests: 8}))
+	// The storm deliberately saturates whatever box runs it, so disable
+	// level-based shedding and give search enough slots for every client:
+	// this test pins concurrency correctness; overload policy is pinned by
+	// the overload tests.
+	adm := admission.Config{MaxWait: time.Minute}
+	adm.Limit[admission.Search] = 16
+	for c := admission.Class(0); c < admission.NumClasses; c++ {
+		adm.ShedAt[c] = 2
+	}
+	ts := httptest.NewServer(New(eng, Options{MaxInFlightIngests: 8, Admission: adm}))
 	defer ts.Close()
 
 	// Two resident videos: search targets and a delete victim.

@@ -23,6 +23,7 @@ import (
 	"path/filepath"
 	"sync"
 	"syscall"
+	"time"
 
 	"cbvr/internal/vstore"
 )
@@ -102,13 +103,20 @@ var ErrPowerLost = fmt.Errorf("faultfs: power lost")
 // it fast and do not call back into the FS.
 type Injector func(Op) Action
 
+// Latency assigns each op an artificial service time. Like Injector it
+// runs under the FS mutex, but the sleep itself happens with the mutex
+// released, so one slow op does not serialize the whole filesystem — the
+// model is a slow disk, not a frozen one.
+type Latency func(Op) time.Duration
+
 // FS is the fault-injecting in-memory filesystem.
 type FS struct {
-	mu     sync.Mutex
-	files  map[string]*memFile
-	gen    int // bumped on power cut; stale handles fail
-	ops    int
-	inject Injector
+	mu      sync.Mutex
+	files   map[string]*memFile
+	gen     int // bumped on power cut; stale handles fail
+	ops     int
+	inject  Injector
+	latency Latency
 }
 
 type memFile struct {
@@ -128,6 +136,14 @@ func New() *FS {
 func (fs *FS) SetInjector(fn Injector) {
 	fs.mu.Lock()
 	fs.inject = fn
+	fs.mu.Unlock()
+}
+
+// SetLatency installs (or, with nil, removes) the per-op latency model.
+// Ops that the injector fails are not delayed: injected faults fail fast.
+func (fs *FS) SetLatency(fn Latency) {
+	fs.mu.Lock()
+	fs.latency = fn
 	fs.mu.Unlock()
 }
 
@@ -169,8 +185,10 @@ func (fs *FS) SyncedSize(name string) int64 {
 	return -1
 }
 
-// step assigns the next op index and asks the injector for a verdict.
-func (fs *FS) step(kind OpKind, name string, off int64, n int) (Action, error) {
+// step assigns the next op index, asks the injector for a verdict, and —
+// for ops that will run — asks the latency model for a service time. The
+// caller sleeps the returned delay via pause, never under the mutex.
+func (fs *FS) step(kind OpKind, name string, off int64, n int) (Action, time.Duration, error) {
 	op := Op{Index: fs.ops, Kind: kind, Name: name, Off: off, Len: n}
 	fs.ops++
 	act := ActNone
@@ -180,13 +198,26 @@ func (fs *FS) step(kind OpKind, name string, off int64, n int) (Action, error) {
 	switch act {
 	case ActPowerCut:
 		fs.cutLocked()
-		return act, ErrPowerLost
+		return act, 0, ErrPowerLost
 	case ActErr:
-		return act, ErrInjected
+		return act, 0, ErrInjected
 	case ActENOSPC:
-		return act, syscall.ENOSPC
+		return act, 0, syscall.ENOSPC
 	}
-	return act, nil
+	var delay time.Duration
+	if fs.latency != nil {
+		delay = fs.latency(op)
+	}
+	return act, delay, nil
+}
+
+// pause sleeps an injected delay with the FS mutex released, so a slow op
+// stalls only its caller. Callers touching a handle must re-check
+// staleness afterwards: a power cut may have landed mid-sleep.
+func (fs *FS) pause(d time.Duration) {
+	fs.mu.Unlock()
+	time.Sleep(d)
+	fs.mu.Lock()
 }
 
 // OpenFile implements vstore.VFS.
@@ -194,8 +225,12 @@ func (fs *FS) OpenFile(path string) (vstore.File, error) {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	name := filepath.Base(path)
-	if _, err := fs.step(OpOpen, name, 0, 0); err != nil {
+	_, delay, err := fs.step(OpOpen, name, 0, 0)
+	if err != nil {
 		return nil, fmt.Errorf("faultfs: open %s: %w", name, err)
+	}
+	if delay > 0 {
+		fs.pause(delay)
 	}
 	f, ok := fs.files[name]
 	if !ok {
@@ -210,8 +245,12 @@ func (fs *FS) OpenFile(path string) (vstore.File, error) {
 func (fs *FS) SyncDir(path string) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	if _, err := fs.step(OpSyncDir, filepath.Base(path), 0, 0); err != nil {
+	_, delay, err := fs.step(OpSyncDir, filepath.Base(path), 0, 0)
+	if err != nil {
 		return fmt.Errorf("faultfs: sync dir: %w", err)
+	}
+	if delay > 0 {
+		fs.pause(delay)
 	}
 	for _, f := range fs.files {
 		f.dirSynced = true
@@ -234,8 +273,15 @@ func (h *handle) ReadAt(p []byte, off int64) (int, error) {
 	if h.stale() {
 		return 0, ErrPowerLost
 	}
-	if _, err := h.fs.step(OpRead, h.name, off, len(p)); err != nil {
+	_, delay, err := h.fs.step(OpRead, h.name, off, len(p))
+	if err != nil {
 		return 0, err
+	}
+	if delay > 0 {
+		h.fs.pause(delay)
+		if h.stale() {
+			return 0, ErrPowerLost
+		}
 	}
 	if off >= int64(len(h.f.current)) {
 		return 0, io.EOF
@@ -253,9 +299,15 @@ func (h *handle) WriteAt(p []byte, off int64) (int, error) {
 	if h.stale() {
 		return 0, ErrPowerLost
 	}
-	act, err := h.fs.step(OpWrite, h.name, off, len(p))
+	act, delay, err := h.fs.step(OpWrite, h.name, off, len(p))
 	if err != nil {
 		return 0, err
+	}
+	if delay > 0 {
+		h.fs.pause(delay)
+		if h.stale() {
+			return 0, ErrPowerLost
+		}
 	}
 	switch act {
 	case ActShortWrite:
@@ -284,11 +336,18 @@ func (h *handle) Sync() error {
 	if h.stale() {
 		return ErrPowerLost
 	}
-	if _, err := h.fs.step(OpSync, h.name, 0, 0); err != nil {
+	_, delay, err := h.fs.step(OpSync, h.name, 0, 0)
+	if err != nil {
 		// Failed-fsync semantics: nothing can be assumed about what
 		// reached the platter; synced state is left as-is (the
 		// conservative end of the fsyncgate spectrum).
 		return err
+	}
+	if delay > 0 {
+		h.fs.pause(delay)
+		if h.stale() {
+			return ErrPowerLost
+		}
 	}
 	h.f.synced = append([]byte(nil), h.f.current...)
 	return nil
@@ -300,8 +359,15 @@ func (h *handle) Truncate(size int64) error {
 	if h.stale() {
 		return ErrPowerLost
 	}
-	if _, err := h.fs.step(OpTruncate, h.name, size, 0); err != nil {
+	_, delay, err := h.fs.step(OpTruncate, h.name, size, 0)
+	if err != nil {
 		return err
+	}
+	if delay > 0 {
+		h.fs.pause(delay)
+		if h.stale() {
+			return ErrPowerLost
+		}
 	}
 	if size <= int64(len(h.f.current)) {
 		h.f.current = h.f.current[:size]
@@ -317,7 +383,7 @@ func (h *handle) Close() error {
 	if h.stale() {
 		return ErrPowerLost
 	}
-	if _, err := h.fs.step(OpClose, h.name, 0, 0); err != nil {
+	if _, _, err := h.fs.step(OpClose, h.name, 0, 0); err != nil {
 		return err
 	}
 	return nil

@@ -345,9 +345,7 @@ func httpError(w http.ResponseWriter, err error) {
 // the limit, abandonment is 503 — and everything else is an internal
 // fault (500), which these handlers used to misreport as 400.
 func classifiedError(w http.ResponseWriter, err error) {
-	if httperr.RetryAfter(err) {
-		w.Header().Set("Retry-After", "30")
-	}
+	httperr.ApplyRetryAfter(w.Header(), err, 0)
 	http.Error(w, httperr.Message(err), httperr.StatusOf(err))
 }
 
@@ -355,9 +353,7 @@ func classifiedError(w http.ResponseWriter, err error) {
 // data: a missing ID is 404; a container format error here means store
 // corruption, so it stays 500 rather than blaming the request.
 func storedError(w http.ResponseWriter, err error) {
-	if httperr.RetryAfter(err) {
-		w.Header().Set("Retry-After", "30")
-	}
+	httperr.ApplyRetryAfter(w.Header(), err, 0)
 	http.Error(w, httperr.Message(err), httperr.StatusOfStored(err))
 }
 
